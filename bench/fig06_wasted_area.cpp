@@ -1,0 +1,22 @@
+// Figure 6 reproduction: average wasted area per task vs. total tasks
+// generated, for 100 nodes (Fig. 6a) and 200 nodes (Fig. 6b), with and
+// without partial reconfiguration.
+//
+// Paper shape: the partial series lies below the full series at both node
+// counts, and the 200-node magnitudes exceed the 100-node ones.
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using dreamsim::bench::FigureSeries;
+  using dreamsim::bench::FigureSpec;
+  using dreamsim::core::MetricsReport;
+
+  const FigureSpec spec{
+      "Fig. 6",
+      "average wasted area per task (full vs partial reconfiguration)",
+      {100, 200},
+      {FigureSeries{"wasted_area", [](const MetricsReport& r) {
+                      return r.avg_wasted_area_per_task;
+                    }}}};
+  return dreamsim::bench::RunFigure(argc, argv, spec);
+}

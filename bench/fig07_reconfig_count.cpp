@@ -1,0 +1,22 @@
+// Figure 7 reproduction: average reconfiguration count per node vs. total
+// tasks generated, for 100 nodes (Fig. 7a) and 200 nodes (Fig. 7b).
+//
+// Paper shape: partial reconfigures *more* per node ("more options for the
+// scheduler to assign a task to a node"), and 100-node runs reconfigure
+// more than 200-node runs.
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using dreamsim::bench::FigureSeries;
+  using dreamsim::bench::FigureSpec;
+  using dreamsim::core::MetricsReport;
+
+  const FigureSpec spec{
+      "Fig. 7",
+      "average reconfiguration count per node (full vs partial)",
+      {100, 200},
+      {FigureSeries{"reconfig_count", [](const MetricsReport& r) {
+                      return r.avg_reconfig_count_per_node;
+                    }}}};
+  return dreamsim::bench::RunFigure(argc, argv, spec);
+}

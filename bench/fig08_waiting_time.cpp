@@ -1,0 +1,22 @@
+// Figure 8 reproduction: average waiting time per task (Eq. 8/9) vs. total
+// tasks generated, for 100 nodes (Fig. 8a) and 200 nodes (Fig. 8b).
+//
+// Paper shape: the full-reconfiguration series waits far longer (no way to
+// co-locate tasks), and the 100-node system waits longer than the 200-node
+// one.
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using dreamsim::bench::FigureSeries;
+  using dreamsim::bench::FigureSpec;
+  using dreamsim::core::MetricsReport;
+
+  const FigureSpec spec{
+      "Fig. 8",
+      "average waiting time per task (full vs partial)",
+      {100, 200},
+      {FigureSeries{"waiting_time", [](const MetricsReport& r) {
+                      return r.avg_waiting_time_per_task;
+                    }}}};
+  return dreamsim::bench::RunFigure(argc, argv, spec);
+}

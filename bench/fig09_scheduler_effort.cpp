@@ -1,0 +1,28 @@
+// Figure 9 reproduction (200 nodes): average scheduling steps per task
+// (Fig. 9a) and total scheduler workload (Fig. 9b) vs. total tasks.
+//
+// Paper shape: the full-reconfiguration scenario needs more scheduling
+// steps per task and more total workload — its long suspension queue must
+// be re-walked on every completion, while partial reconfiguration "can even
+// search for a node region to map a task, which reduces the scheduling
+// effort".
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using dreamsim::bench::FigureSeries;
+  using dreamsim::bench::FigureSpec;
+  using dreamsim::core::MetricsReport;
+
+  const FigureSpec spec{
+      "Fig. 9",
+      "scheduling steps per task (9a) and total scheduler workload (9b)",
+      {200},
+      {FigureSeries{"sched_steps",
+                    [](const MetricsReport& r) {
+                      return r.avg_scheduling_steps_per_task;
+                    }},
+       FigureSeries{"total_workload", [](const MetricsReport& r) {
+                      return static_cast<double>(r.total_scheduler_workload);
+                    }}}};
+  return dreamsim::bench::RunFigure(argc, argv, spec);
+}

@@ -1,0 +1,22 @@
+// Figure 10 reproduction (200 nodes): average configuration time per task
+// (Eq. 10) vs. total tasks generated.
+//
+// Paper shape: partial reconfiguration pays *more* configuration time per
+// task — it reconfigures regions far more often (Fig. 7) — while the full
+// scenario mostly reuses whole-node configurations from the queue.
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using dreamsim::bench::FigureSeries;
+  using dreamsim::bench::FigureSpec;
+  using dreamsim::core::MetricsReport;
+
+  const FigureSpec spec{
+      "Fig. 10",
+      "average configuration time per task (full vs partial)",
+      {200},
+      {FigureSeries{"config_time", [](const MetricsReport& r) {
+                      return r.avg_config_time_per_task;
+                    }}}};
+  return dreamsim::bench::RunFigure(argc, argv, spec);
+}

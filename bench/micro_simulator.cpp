@@ -1,0 +1,72 @@
+// Micro-benchmarks for end-to-end simulator throughput: tasks simulated per
+// second in both reconfiguration modes and under each scheduling policy.
+#include <benchmark/benchmark.h>
+
+#include "core/simulator.hpp"
+
+namespace {
+
+using namespace dreamsim;
+
+core::SimulationConfig BenchConfig(std::int64_t tasks, std::int64_t nodes) {
+  core::SimulationConfig config;
+  config.nodes.count = static_cast<int>(nodes);
+  config.tasks.total_tasks = static_cast<int>(tasks);
+  config.seed = 42;
+  config.enable_monitoring = false;
+  return config;
+}
+
+void BM_SimulatorPartial(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SimulationConfig config = BenchConfig(state.range(0), 200);
+    config.mode = sched::ReconfigMode::kPartial;
+    core::Simulator sim(std::move(config));
+    benchmark::DoNotOptimize(sim.Run().completed_tasks);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorPartial)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorFull(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SimulationConfig config = BenchConfig(state.range(0), 200);
+    config.mode = sched::ReconfigMode::kFull;
+    core::Simulator sim(std::move(config));
+    benchmark::DoNotOptimize(sim.Run().completed_tasks);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorFull)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorByPolicy(benchmark::State& state) {
+  const auto policy = static_cast<core::PolicyChoice>(state.range(0));
+  for (auto _ : state) {
+    core::SimulationConfig config = BenchConfig(2000, 200);
+    config.policy = policy;
+    core::Simulator sim(std::move(config));
+    benchmark::DoNotOptimize(sim.Run().completed_tasks);
+  }
+  state.SetLabel(std::string(core::ToString(policy)));
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_SimulatorByPolicy)
+    ->DenseRange(0, 6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MonitoringOverhead(benchmark::State& state) {
+  const bool monitoring = state.range(0) != 0;
+  for (auto _ : state) {
+    core::SimulationConfig config = BenchConfig(2000, 200);
+    config.enable_monitoring = monitoring;
+    core::Simulator sim(std::move(config));
+    benchmark::DoNotOptimize(sim.Run().completed_tasks);
+  }
+  state.SetLabel(monitoring ? "monitoring-on" : "monitoring-off");
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_MonitoringOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

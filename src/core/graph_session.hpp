@@ -1,0 +1,45 @@
+// Task-graph scheduling session (the paper's future work, implemented).
+//
+// Drives a workload::TaskGraph through a Simulator: root vertices are
+// submitted at tick 0; every completion releases successors whose
+// predecessors have all finished. Scheduling, suspension, and metrics reuse
+// the ordinary task path unchanged.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/sim_config.hpp"
+#include "workload/task_graph.hpp"
+
+namespace dreamsim::core {
+
+/// Result of one graph run.
+struct GraphRunResult {
+  MetricsReport metrics;
+  /// Completion tick of the last vertex (0 for an empty graph).
+  Tick makespan = 0;
+  /// Vertices completed (== graph size unless some were discarded).
+  std::size_t completed_vertices = 0;
+  std::size_t discarded_vertices = 0;
+};
+
+/// Release/selection discipline for graph runs.
+enum class GraphOrder : std::uint8_t {
+  /// Ready vertices queue FIFO (the default task path unchanged).
+  kFifo,
+  /// HEFT-style list scheduling: every vertex carries its upward rank as
+  /// scheduling priority; same-instant releases are submitted rank-first
+  /// and the suspension queue serves the highest-rank fitting task (keeps
+  /// the critical path moving under contention).
+  kCriticalPathFirst,
+};
+
+/// Runs `graph` under `config` (the workload fields of the config are
+/// ignored; the graph supplies the tasks). Throws on cyclic graphs.
+[[nodiscard]] GraphRunResult RunGraph(const SimulationConfig& config,
+                                      const workload::TaskGraph& graph,
+                                      GraphOrder order = GraphOrder::kFifo);
+
+}  // namespace dreamsim::core

@@ -1,0 +1,122 @@
+#include "core/replication.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "core/simulator.hpp"
+#include "util/fmt.hpp"
+
+namespace dreamsim::core {
+namespace {
+
+struct MetricExtractor {
+  const char* name;
+  double (*get)(const MetricsReport&);
+};
+
+constexpr MetricExtractor kExtractors[] = {
+    {"avg_wasted_area_per_task",
+     [](const MetricsReport& r) { return r.avg_wasted_area_per_task; }},
+    {"avg_task_running_time",
+     [](const MetricsReport& r) { return r.avg_task_running_time; }},
+    {"avg_reconfig_count_per_node",
+     [](const MetricsReport& r) { return r.avg_reconfig_count_per_node; }},
+    {"avg_config_time_per_task",
+     [](const MetricsReport& r) { return r.avg_config_time_per_task; }},
+    {"avg_waiting_time_per_task",
+     [](const MetricsReport& r) { return r.avg_waiting_time_per_task; }},
+    {"avg_scheduling_steps_per_task",
+     [](const MetricsReport& r) { return r.avg_scheduling_steps_per_task; }},
+    {"total_scheduler_workload",
+     [](const MetricsReport& r) {
+       return static_cast<double>(r.total_scheduler_workload);
+     }},
+    {"discarded_tasks",
+     [](const MetricsReport& r) {
+       return static_cast<double>(r.discarded_tasks);
+     }},
+    {"total_simulation_time",
+     [](const MetricsReport& r) {
+       return static_cast<double>(r.total_simulation_time);
+     }},
+};
+
+}  // namespace
+
+double MetricSummary::ci95_half_width() const {
+  if (stats.count() < 2) return 0.0;
+  return 1.96 * stats.stddev() /
+         std::sqrt(static_cast<double>(stats.count()));
+}
+
+const MetricSummary& ReplicationReport::Metric(std::string_view name) const {
+  for (const MetricSummary& m : metrics) {
+    if (m.name == name) return m;
+  }
+  throw std::out_of_range(Format("no metric summary named '{}'", name));
+}
+
+ReplicationReport RunReplications(const SimulationConfig& base,
+                                  std::size_t replications,
+                                  unsigned threads) {
+  if (replications == 0) {
+    throw std::invalid_argument("need at least one replication");
+  }
+  ReplicationReport report;
+  report.replications = replications;
+  report.runs.resize(replications);
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= replications) return;
+      SimulationConfig config = base;
+      config.seed = DeriveSeed(base.seed, i);
+      config.label = Format("{}#{}", base.label, i);
+      Simulator sim(std::move(config));
+      report.runs[i] = sim.Run();
+    }
+  };
+
+  unsigned worker_count = threads == 0
+                              ? std::max(1u, std::thread::hardware_concurrency())
+                              : threads;
+  worker_count = std::min<unsigned>(
+      worker_count, static_cast<unsigned>(replications));
+  if (worker_count <= 1) {
+    worker();
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(worker_count);
+    for (unsigned t = 0; t < worker_count; ++t) pool.emplace_back(worker);
+  }
+
+  for (const MetricExtractor& extractor : kExtractors) {
+    MetricSummary summary;
+    summary.name = extractor.name;
+    for (const MetricsReport& run : report.runs) {
+      summary.stats.Add(extractor.get(run));
+    }
+    report.metrics.push_back(std::move(summary));
+  }
+  return report;
+}
+
+std::string RenderReplicationTable(const ReplicationReport& report) {
+  std::string out = Format("{} replications\n", report.replications);
+  out += Format("{:<34}{:>14}{:>12}{:>12}{:>14}{:>14}\n", "metric", "mean",
+                "ci95", "stddev", "min", "max");
+  for (const MetricSummary& m : report.metrics) {
+    out += Format("{:<34}{:>14}{:>12}{:>12}{:>14}{:>14}\n", m.name,
+                  Format("{}", m.mean()),
+                  Format("{}", m.ci95_half_width()),
+                  Format("{}", m.stddev()), Format("{}", m.stats.min()),
+                  Format("{}", m.stats.max()));
+  }
+  return out;
+}
+
+}  // namespace dreamsim::core

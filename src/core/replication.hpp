@@ -1,0 +1,54 @@
+// Replicated runs with summary statistics.
+//
+// A single simulation is one draw from the workload distribution; credible
+// comparisons need replications. RunReplications() executes the same
+// configuration under independent seeds (in parallel — replications share
+// nothing) and reduces every headline metric to mean / stddev / min / max
+// plus a normal-approximation 95% confidence half-width.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/sim_config.hpp"
+#include "util/stats.hpp"
+
+namespace dreamsim::core {
+
+/// Summary of one metric across replications.
+struct MetricSummary {
+  std::string name;
+  OnlineStats stats;
+
+  [[nodiscard]] double mean() const { return stats.mean(); }
+  [[nodiscard]] double stddev() const { return stats.stddev(); }
+  /// Half-width of the normal-approximation 95% confidence interval for
+  /// the mean (1.96 * stddev / sqrt(n)); 0 for fewer than 2 replications.
+  [[nodiscard]] double ci95_half_width() const;
+};
+
+/// Aggregated replication results.
+struct ReplicationReport {
+  std::size_t replications = 0;
+  std::vector<MetricSummary> metrics;
+  /// The individual per-run reports, in seed order.
+  std::vector<MetricsReport> runs;
+
+  /// Lookup by metric name; throws std::out_of_range when absent.
+  [[nodiscard]] const MetricSummary& Metric(std::string_view name) const;
+};
+
+/// Runs `replications` simulations of `base`, with seeds derived from
+/// base.seed via DeriveSeed(base.seed, replication_index). `threads` = 0
+/// uses hardware concurrency. Summarizes the Table I metrics.
+[[nodiscard]] ReplicationReport RunReplications(const SimulationConfig& base,
+                                                std::size_t replications,
+                                                unsigned threads = 0);
+
+/// Renders the summary as a fixed-width table (metric, mean, ±ci95,
+/// stddev, min, max).
+[[nodiscard]] std::string RenderReplicationTable(const ReplicationReport& report);
+
+}  // namespace dreamsim::core

@@ -1,0 +1,203 @@
+#include "core/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/fmt.hpp"
+#include "util/xml.hpp"
+
+namespace dreamsim::core {
+namespace {
+
+std::string Num(double v) {
+  // Fixed notation with adaptive precision keeps tables readable.
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  if (v == 0.0) return "0";
+  if (v >= 1000.0) {
+    os.precision(1);
+    os << std::fixed << v;
+  } else {
+    os.precision(3);
+    os << std::fixed << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void WriteXmlReport(std::ostream& out, const MetricsReport& r) {
+  XmlWriter xml(out);
+  xml.Open("dreamsim-report");
+  xml.Attribute("label", r.label);
+  xml.Attribute("policy", r.policy_name);
+  xml.Attribute("mode", r.mode_name);
+  xml.Attribute("seed", static_cast<std::uint64_t>(r.seed));
+
+  xml.Open("system");
+  xml.Element("total-nodes", static_cast<std::uint64_t>(r.total_nodes));
+  xml.Element("total-configs", static_cast<std::uint64_t>(r.total_configs));
+  xml.Close();
+
+  xml.Open("tasks");
+  xml.Element("generated", r.total_tasks);
+  xml.Element("completed", r.completed_tasks);
+  xml.Element("discarded", r.discarded_tasks);
+  xml.Element("suspended-ever", r.suspended_ever);
+  xml.Element("closest-match", r.closest_match_tasks);
+  xml.Close();
+
+  xml.Open("metrics");
+  xml.Element("avg-wasted-area-per-task", r.avg_wasted_area_per_task);
+  xml.Element("avg-task-running-time", r.avg_task_running_time);
+  xml.Element("avg-reconfig-count-per-node", r.avg_reconfig_count_per_node);
+  xml.Element("avg-config-time-per-task", r.avg_config_time_per_task);
+  xml.Element("avg-waiting-time-per-task", r.avg_waiting_time_per_task);
+  xml.Element("avg-scheduling-steps-per-task",
+              r.avg_scheduling_steps_per_task);
+  xml.Element("total-scheduler-workload", r.total_scheduler_workload);
+  xml.Element("total-used-nodes", static_cast<std::uint64_t>(r.total_used_nodes));
+  xml.Element("total-simulation-time",
+              static_cast<std::int64_t>(r.total_simulation_time));
+  xml.Close();
+
+  xml.Open("diagnostics");
+  xml.Element("scheduling-steps", r.scheduling_steps_total);
+  xml.Element("housekeeping-steps", r.housekeeping_steps_total);
+  xml.Element("total-reconfigurations", r.total_reconfigurations);
+  xml.Element("total-configuration-time",
+              static_cast<std::int64_t>(r.total_configuration_time));
+  xml.Element("avg-suspension-retries", r.avg_suspension_retries);
+  xml.Open("placements");
+  xml.Element("allocation", r.placements_by_kind[0]);
+  xml.Element("configuration", r.placements_by_kind[1]);
+  xml.Element("partial-configuration", r.placements_by_kind[2]);
+  xml.Element("partial-reconfiguration", r.placements_by_kind[3]);
+  xml.Element("full-reconfiguration", r.placements_by_kind[4]);
+  xml.Close();
+  xml.Close();
+
+  xml.Finish();
+}
+
+std::vector<std::string> CsvReportHeader() {
+  return {"label",
+          "policy",
+          "mode",
+          "seed",
+          "total_nodes",
+          "total_configs",
+          "total_tasks",
+          "completed_tasks",
+          "discarded_tasks",
+          "suspended_ever",
+          "closest_match_tasks",
+          "avg_wasted_area_per_task",
+          "avg_task_running_time",
+          "avg_reconfig_count_per_node",
+          "avg_config_time_per_task",
+          "avg_waiting_time_per_task",
+          "avg_scheduling_steps_per_task",
+          "total_scheduler_workload",
+          "total_used_nodes",
+          "total_simulation_time"};
+}
+
+std::vector<std::string> CsvReportRow(const MetricsReport& r) {
+  return {r.label,
+          r.policy_name,
+          r.mode_name,
+          Format("{}", r.seed),
+          Format("{}", r.total_nodes),
+          Format("{}", r.total_configs),
+          Format("{}", r.total_tasks),
+          Format("{}", r.completed_tasks),
+          Format("{}", r.discarded_tasks),
+          Format("{}", r.suspended_ever),
+          Format("{}", r.closest_match_tasks),
+          Format("{}", r.avg_wasted_area_per_task),
+          Format("{}", r.avg_task_running_time),
+          Format("{}", r.avg_reconfig_count_per_node),
+          Format("{}", r.avg_config_time_per_task),
+          Format("{}", r.avg_waiting_time_per_task),
+          Format("{}", r.avg_scheduling_steps_per_task),
+          Format("{}", r.total_scheduler_workload),
+          Format("{}", r.total_used_nodes),
+          Format("{}", r.total_simulation_time)};
+}
+
+void WriteCsvReports(std::ostream& out,
+                     const std::vector<MetricsReport>& reports) {
+  CsvWriter csv(out, CsvReportHeader());
+  for (const MetricsReport& r : reports) {
+    csv.WriteRow(CsvReportRow(r));
+  }
+}
+
+std::string RenderReportTable(const MetricsReport& r) {
+  std::string out;
+  const auto row = [&out](std::string_view name, const std::string& value) {
+    out += Format("  {:<38} {}\n", name, value);
+  };
+  out += Format("DReAMSim report — {} [{} / {}]\n",
+                r.label.empty() ? std::string("(unnamed)") : r.label,
+                r.policy_name, r.mode_name);
+  row("tasks generated", Format("{}", r.total_tasks));
+  row("tasks completed", Format("{}", r.completed_tasks));
+  row("tasks discarded", Format("{}", r.discarded_tasks));
+  row("tasks ever suspended", Format("{}", r.suspended_ever));
+  row("avg wasted area per task", Num(r.avg_wasted_area_per_task));
+  row("avg running time of each task", Num(r.avg_task_running_time));
+  row("avg reconfiguration count per node", Num(r.avg_reconfig_count_per_node));
+  row("avg reconfiguration time per task", Num(r.avg_config_time_per_task));
+  row("avg waiting time per task", Num(r.avg_waiting_time_per_task));
+  row("avg scheduling steps per task", Num(r.avg_scheduling_steps_per_task));
+  row("total scheduler workload", Format("{}", r.total_scheduler_workload));
+  row("total used nodes", Format("{}", r.total_used_nodes));
+  row("total simulation time", Format("{}", r.total_simulation_time));
+  return out;
+}
+
+std::string RenderComparisonTable(const std::vector<MetricsReport>& reports) {
+  std::string out;
+  out += Format("{:<40}", "metric");
+  for (const MetricsReport& r : reports) {
+    out += Format("{:>22}", r.label.empty() ? r.mode_name : r.label);
+  }
+  out += "\n";
+  const auto row = [&](std::string_view name, auto getter) {
+    out += Format("{:<40}", name);
+    for (const MetricsReport& r : reports) {
+      out += Format("{:>22}", Num(getter(r)));
+    }
+    out += "\n";
+  };
+  row("avg wasted area per task",
+      [](const MetricsReport& r) { return r.avg_wasted_area_per_task; });
+  row("avg running time of each task",
+      [](const MetricsReport& r) { return r.avg_task_running_time; });
+  row("avg reconfig count per node",
+      [](const MetricsReport& r) { return r.avg_reconfig_count_per_node; });
+  row("avg reconfig time per task",
+      [](const MetricsReport& r) { return r.avg_config_time_per_task; });
+  row("avg waiting time per task",
+      [](const MetricsReport& r) { return r.avg_waiting_time_per_task; });
+  row("avg scheduling steps per task",
+      [](const MetricsReport& r) { return r.avg_scheduling_steps_per_task; });
+  row("total scheduler workload", [](const MetricsReport& r) {
+    return static_cast<double>(r.total_scheduler_workload);
+  });
+  row("total discarded tasks", [](const MetricsReport& r) {
+    return static_cast<double>(r.discarded_tasks);
+  });
+  row("total used nodes", [](const MetricsReport& r) {
+    return static_cast<double>(r.total_used_nodes);
+  });
+  row("total simulation time", [](const MetricsReport& r) {
+    return static_cast<double>(r.total_simulation_time);
+  });
+  return out;
+}
+
+}  // namespace dreamsim::core

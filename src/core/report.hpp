@@ -1,0 +1,37 @@
+// Report generation (output subsystem, Sec. III): "an XML simulation report
+// generator which accumulates the statistics associated with various
+// performance metrics". A CSV twin and a human-readable console table are
+// provided for sweeps and quick inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace dreamsim::core {
+
+/// Writes one run's report as an XML document (schema documented in
+/// README.md §Reports).
+void WriteXmlReport(std::ostream& out, const MetricsReport& report);
+
+/// Header row shared by WriteCsvReportRow (one column per metric).
+[[nodiscard]] std::vector<std::string> CsvReportHeader();
+
+/// One run as a CSV row matching CsvReportHeader().
+[[nodiscard]] std::vector<std::string> CsvReportRow(const MetricsReport& report);
+
+/// Writes a set of runs as one CSV table.
+void WriteCsvReports(std::ostream& out,
+                     const std::vector<MetricsReport>& reports);
+
+/// Renders a two-column human-readable summary (Table I layout).
+[[nodiscard]] std::string RenderReportTable(const MetricsReport& report);
+
+/// Renders several runs side by side (e.g. full vs partial) with one row
+/// per Table I metric.
+[[nodiscard]] std::string RenderComparisonTable(
+    const std::vector<MetricsReport>& reports);
+
+}  // namespace dreamsim::core

@@ -1,0 +1,102 @@
+// SimulationConfig: the full parameter surface of one DReAMSim run.
+//
+// Defaults reproduce Table II: 200 nodes (TotalArea in [1000, 4000]), 50
+// configurations (ReqArea in [200, 2000], t_config in [10, 20]), arrivals
+// every [1, 50] ticks, t_required in [100, 100000], 15% closest-match tasks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/network.hpp"
+#include "resource/config.hpp"
+#include "resource/node.hpp"
+#include "sched/policy.hpp"
+#include "workload/generator.hpp"
+
+namespace dreamsim::core {
+
+/// How Eq. 7's accumulated wasted area samples Eq. 6 (the paper leaves the
+/// sampling instants unstated; see DESIGN.md §4).
+enum class WasteAccounting : std::uint8_t {
+  /// Accumulate the configured node's post-configuration AvailableArea at
+  /// every (re)configuration event.
+  kOnConfigure,
+  /// Sample Eq. 6 (system-wide wasted area over configured nodes) at every
+  /// task arrival — the literal reading of Eq. 7 (default).
+  kOnSchedule,
+  /// Integrate Eq. 6 over time; report the time-weighted average.
+  kTimeWeighted,
+  /// Sample, at every task arrival, the available area of configured nodes
+  /// that are currently idle (area provably wasted at that instant).
+  kIdleConfigured,
+};
+
+[[nodiscard]] std::string_view ToString(WasteAccounting accounting);
+
+/// Which built-in policy drives the run.
+enum class PolicyChoice : std::uint8_t {
+  kDreamSim,  // the paper's Fig. 5 algorithm (mode picks full/partial)
+  kFirstFit,
+  kBestFit,
+  kWorstFit,
+  kRandomFit,
+  kRoundRobin,
+  kLeastLoaded,
+};
+
+[[nodiscard]] std::string_view ToString(PolicyChoice choice);
+
+struct SimulationConfig {
+  // --- Resources (Table II) ---
+  resource::NodeGenParams nodes{};          // 200 nodes, [1000, 4000]
+  resource::ConfigGenParams configs{};      // 50 configs, [200, 2000], [10, 20]
+
+  // --- Workload (Table II) ---
+  workload::TaskGenParams tasks{};          // [1, 50] gaps, [100, 1e5] times
+
+  // --- Scheduling ---
+  sched::ReconfigMode mode = sched::ReconfigMode::kPartial;
+  PolicyChoice policy = PolicyChoice::kDreamSim;
+  /// Max re-scheduling attempts per suspended task; 0 = unbounded.
+  std::uint32_t max_suspension_retries = 0;
+  /// Suspension-queue capacity; 0 = unbounded. Overflow discards the task.
+  std::size_t suspension_capacity = 0;
+  /// Suspended tasks re-attempted per completion event (bounds the cost of
+  /// queue drains; the FIFO order of the paper is preserved).
+  std::size_t suspension_batch = 8;
+  /// Select suspended tasks by priority (Task::priority, higher first;
+  /// FIFO ties) instead of pure FIFO when draining the queue. Used by the
+  /// critical-path-first task-graph scheduler; the paper's scheduler is
+  /// FIFO (default).
+  bool priority_scheduling = false;
+  /// Execution-time multiplier for tasks that run on a closest-match
+  /// configuration instead of their C_pref (Eq. 3 defines t_required "if
+  /// it is processed on its preferred processor configuration"; a
+  /// non-preferred processor may be slower). 1.0 reproduces the paper.
+  double closest_match_slowdown = 1.0;
+
+  // --- Network (t_comm of Eq. 8; disabled by default like the paper) ---
+  net::NetworkParams network{};
+  /// Ship configuration bitstreams over the network before configuring
+  /// (adds BitstreamTime to the configuration delay). The paper folds
+  /// shipping into t_config; enable this to model it explicitly.
+  bool ship_bitstreams = false;
+  /// Per-node LRU bitstream cache capacity in bytes (0 = no cache): cache
+  /// hits skip the bitstream transfer when ship_bitstreams is on.
+  Bytes bitstream_cache_capacity = 0;
+
+  // --- Metrics ---
+  WasteAccounting waste_accounting = WasteAccounting::kOnSchedule;
+  /// Event-driven utilization monitoring (O(nodes) per event); disable for
+  /// large sweeps.
+  bool enable_monitoring = true;
+
+  // --- Reproducibility ---
+  std::uint64_t seed = 42;
+
+  /// Free-form label carried into reports.
+  std::string label;
+};
+
+}  // namespace dreamsim::core

@@ -1,0 +1,442 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "ptype/catalogue.hpp"
+#include "sched/dreamsim_policy.hpp"
+#include "sched/heuristic_policy.hpp"
+#include "util/log.hpp"
+
+namespace dreamsim::core {
+namespace {
+
+// Independent deterministic sub-streams derived from the run seed.
+constexpr std::uint64_t kStreamWorkload = 1;
+constexpr std::uint64_t kStreamResources = 2;
+constexpr std::uint64_t kStreamPolicy = 3;
+constexpr std::uint64_t kStreamNetwork = 4;
+
+resource::ConfigCatalogue BuildConfigs(const SimulationConfig& config,
+                                       Rng& rng) {
+  const ptype::Catalogue ptypes = ptype::Catalogue::Default();
+  return resource::ConfigCatalogue::Generate(config.configs, ptypes, rng);
+}
+
+}  // namespace
+
+std::unique_ptr<sched::Policy> MakePolicy(PolicyChoice choice,
+                                          sched::ReconfigMode mode,
+                                          std::uint64_t seed) {
+  using sched::Heuristic;
+  switch (choice) {
+    case PolicyChoice::kDreamSim:
+      return std::make_unique<sched::DreamSimPolicy>(mode);
+    case PolicyChoice::kFirstFit:
+      return std::make_unique<sched::HeuristicPolicy>(Heuristic::kFirstFit,
+                                                      seed);
+    case PolicyChoice::kBestFit:
+      return std::make_unique<sched::HeuristicPolicy>(Heuristic::kBestFit,
+                                                      seed);
+    case PolicyChoice::kWorstFit:
+      return std::make_unique<sched::HeuristicPolicy>(Heuristic::kWorstFit,
+                                                      seed);
+    case PolicyChoice::kRandomFit:
+      return std::make_unique<sched::HeuristicPolicy>(Heuristic::kRandomFit,
+                                                      seed);
+    case PolicyChoice::kRoundRobin:
+      return std::make_unique<sched::HeuristicPolicy>(Heuristic::kRoundRobin,
+                                                      seed);
+    case PolicyChoice::kLeastLoaded:
+      return std::make_unique<sched::HeuristicPolicy>(Heuristic::kLeastLoaded,
+                                                      seed);
+  }
+  throw std::invalid_argument("unknown policy choice");
+}
+
+std::string_view ToString(SimEvent::Kind kind) {
+  switch (kind) {
+    case SimEvent::Kind::kArrival: return "arrival";
+    case SimEvent::Kind::kPlaced: return "placed";
+    case SimEvent::Kind::kSuspended: return "suspended";
+    case SimEvent::Kind::kDiscarded: return "discarded";
+    case SimEvent::Kind::kCompleted: return "completed";
+  }
+  return "?";
+}
+
+std::unique_ptr<sched::Policy> Simulator::MakePolicy() const {
+  return core::MakePolicy(config_.policy, config_.mode,
+                          DeriveSeed(config_.seed, kStreamPolicy));
+}
+
+Simulator::Simulator(SimulationConfig config)
+    : config_(std::move(config)),
+      rng_(DeriveSeed(config_.seed, kStreamWorkload)),
+      store_([&] {
+        Rng resource_rng(DeriveSeed(config_.seed, kStreamResources));
+        return resource::ResourceStore(BuildConfigs(config_, resource_rng));
+      }()),
+      suspension_(config_.suspension_capacity),
+      policy_(MakePolicy()),
+      network_(config_.network, DeriveSeed(config_.seed, kStreamNetwork)),
+      metrics_(config_.waste_accounting),
+      info_(store_),
+      monitor_(info_),
+      jobs_(kernel_, tasks_) {
+  Rng resource_rng(DeriveSeed(config_.seed, kStreamResources) ^ 0x5bd1e995u);
+  store_.InitNodes(config_.nodes, resource_rng);
+  if (config_.ship_bitstreams) {
+    bitstream_caches_.assign(
+        store_.node_count(),
+        net::BitstreamCache(config_.bitstream_cache_capacity));
+  }
+}
+
+Tick Simulator::BitstreamDelay(const resource::Node& node, ConfigId config) {
+  if (!config_.ship_bitstreams) return 0;
+  net::BitstreamCache& cache = bitstream_caches_[node.id().value()];
+  const resource::Configuration& cfg = store_.configs().Get(config);
+  if (cache.Lookup(config)) return 0;
+  cache.Insert(config, cfg.bitstream_size);
+  const Tick delay = network_.BitstreamTime(node, cfg.bitstream_size);
+  bitstream_transfer_total_ += delay;
+  return delay;
+}
+
+Simulator::CacheStats Simulator::bitstream_cache_stats() const {
+  CacheStats stats;
+  for (const net::BitstreamCache& cache : bitstream_caches_) {
+    stats.hits += cache.hits();
+    stats.misses += cache.misses();
+  }
+  return stats;
+}
+
+TaskId Simulator::SubmitTaskAt(const workload::GeneratedTask& task, Tick at) {
+  return jobs_.SubmitOne(task, at, [this](TaskId id) { HandleArrival(id); });
+}
+
+MetricsReport Simulator::Run() {
+  const workload::Workload wl =
+      workload::GenerateWorkload(config_.tasks, store_.configs(), rng_);
+  return RunWithWorkload(wl);
+}
+
+MetricsReport Simulator::RunWithWorkload(const workload::Workload& wl) {
+  if (ran_) throw std::logic_error("Simulator instances are single-use");
+  ran_ = true;
+  (void)jobs_.Submit(wl, [this](TaskId id) { HandleArrival(id); });
+  (void)kernel_.Run();
+  return FinishReport();
+}
+
+void Simulator::HandleArrival(TaskId id) {
+  metrics_.OnTaskGenerated();
+  Emit(SimEvent::Kind::kArrival, id);
+  store_.meter().BeginTask();
+  const sched::Outcome outcome = AttemptSchedule(id, /*is_arrival=*/true);
+  if (outcome == sched::Outcome::kSuspend) {
+    resource::Task& task = tasks_.Get(id);
+    task.state = resource::TaskState::kSuspended;
+    metrics_.OnSuspendedFirstTime();
+    Emit(SimEvent::Kind::kSuspended, id);
+    EnqueueSuspended(id);
+  }
+  if (config_.enable_monitoring) {
+    monitor_.Observe(kernel_.now(), suspension_.size());
+  }
+}
+
+sched::Outcome Simulator::AttemptSchedule(TaskId id, bool is_arrival) {
+  resource::Task& task = tasks_.Get(id);
+  const sched::Decision decision = policy_->Schedule(task, store_);
+  metrics_.OnScheduleAttempt(kernel_.now(), is_arrival, store_);
+  if (decision.config.valid()) task.resolved_config = decision.config;
+
+  switch (decision.outcome) {
+    case sched::Outcome::kPlaced: {
+      const Tick now = kernel_.now();
+      task.state = resource::TaskState::kRunning;
+      task.assigned_config = decision.config;
+      task.assigned_node = decision.entry.node;
+      task.start_time = now;
+      task.comm_time =
+          network_.TransferTime(store_.node(decision.entry.node),
+                                task.data_size);
+      task.config_wait = decision.config_time;
+      if (decision.config_time > 0) {
+        // A fresh configuration was loaded: ship its bitstream unless the
+        // node still has it cached.
+        task.config_wait +=
+            BitstreamDelay(store_.node(decision.entry.node), decision.config);
+      }
+      if (decision.used_closest_match) metrics_.OnClosestMatchUsed();
+      if (decision.config_time > 0) {
+        metrics_.OnConfigured(
+            now, decision.config_time,
+            store_.node(decision.entry.node).available_area(), store_);
+        metrics_.OnWasteSignal(now, store_.TotalWastedArea());
+      }
+      metrics_.OnPlaced(decision);
+      Emit(SimEvent::Kind::kPlaced, id, decision.entry.node, decision.config);
+      // Running on the closest match instead of C_pref may be slower
+      // (Eq. 3 defines t_required on the *preferred* configuration).
+      Tick execution = task.required_time;
+      if (decision.used_closest_match &&
+          config_.closest_match_slowdown != 1.0) {
+        execution = std::max<Tick>(
+            1, static_cast<Tick>(static_cast<double>(execution) *
+                                 config_.closest_match_slowdown));
+      }
+      const Tick span = task.comm_time + task.config_wait + execution;
+      const resource::EntryRef entry = decision.entry;
+      kernel_.ScheduleAfter(span, sim::EventPriority::kCompletion,
+                            [this, id, entry] { HandleCompletion(id, entry); });
+      DREAMSIM_LOG(LogLevel::kDebug,
+                   "t={} task {} placed on node {} slot {} via {}", now,
+                   id.value(), entry.node.value(), entry.slot,
+                   sched::ToString(decision.kind));
+      return decision.outcome;
+    }
+    case sched::Outcome::kSuspend:
+      return decision.outcome;
+    case sched::Outcome::kDiscard: {
+      task.state = resource::TaskState::kDiscarded;
+      metrics_.OnDiscarded();
+      Emit(SimEvent::Kind::kDiscarded, id);
+      DREAMSIM_LOG(LogLevel::kDebug, "t={} task {} discarded", kernel_.now(),
+                   id.value());
+      return decision.outcome;
+    }
+  }
+  throw std::logic_error("unreachable scheduling outcome");
+}
+
+void Simulator::EnqueueSuspended(TaskId id) {
+  if (!suspension_.Add(id, store_.meter())) {
+    // Queue overflow: the system sheds load by discarding the task.
+    resource::Task& task = tasks_.Get(id);
+    task.state = resource::TaskState::kDiscarded;
+    metrics_.OnDiscarded();
+    Emit(SimEvent::Kind::kDiscarded, id);
+    DREAMSIM_LOG(LogLevel::kWarning,
+                 "t={} suspension queue full; task {} discarded",
+                 kernel_.now(), id.value());
+  }
+}
+
+void Simulator::HandleCompletion(TaskId id, resource::EntryRef entry) {
+  resource::Task& task = tasks_.Get(id);
+  task.completion_time = kernel_.now();
+  task.state = resource::TaskState::kCompleted;
+  const ConfigId freed_config = store_.node(entry.node).Slot(entry.slot).config;
+  const TaskId released = store_.ReleaseTask(entry);
+  if (released != id) {
+    throw std::logic_error("completion released a different task");
+  }
+  metrics_.OnCompleted(task);
+  Emit(SimEvent::Kind::kCompleted, id, entry.node, freed_config);
+  DrainSuspensionQueue(entry, freed_config);
+  if (config_.enable_monitoring) {
+    monitor_.Observe(kernel_.now(), suspension_.size());
+  }
+  if (completion_hook_) completion_hook_(id, kernel_.now());
+}
+
+bool Simulator::CouldUseNode(const resource::Task& task,
+                             const resource::Node& node,
+                             ConfigId freed_config) const {
+  // Direct reuse: the freed entry already carries the task's resolved
+  // configuration.
+  if (task.resolved_config.valid() && task.resolved_config == freed_config) {
+    return true;
+  }
+  // Family compatibility gates every other route onto this node.
+  if (task.resolved_config.valid() &&
+      !store_.configs().Get(task.resolved_config).CompatibleWith(
+          node.family())) {
+    return false;
+  }
+  // Spare fabric on the node could host the task's configuration directly.
+  if (node.CanHost(task.needed_area)) return true;
+  // Reclaiming the node's idle entries (Algorithm 1, restricted to this
+  // node) could free enough room.
+  Area reclaimable = node.available_area();
+  bool feasible = false;
+  node.ForEachSlot([&](resource::SlotIndex, const resource::ConfigTaskPair& p) {
+    if (feasible || !p.idle()) return;
+    reclaimable += store_.configs().Get(p.config).required_area;
+    feasible = reclaimable >= task.needed_area;
+  });
+  return feasible;
+}
+
+void Simulator::DrainSuspensionQueue(resource::EntryRef freed,
+                                     ConfigId freed_config) {
+  // "Each time a node finishes executing a task, the suspension queue is
+  // checked using this method to determine if a suitable task is waiting in
+  // the queue which can be executed on the node." The scan is FIFO-first;
+  // each visited queue entry costs one scheduler search step (this is part
+  // of the effort to assign tasks to nodes, and it is what makes the
+  // full-reconfiguration scenario's Fig. 9 curves grow with the queue).
+  if (suspension_.empty()) return;
+  const resource::Node& node = store_.node(freed.node);
+  const std::size_t max_policy_runs = config_.suspension_batch == 0
+                                          ? suspension_.size()
+                                          : config_.suspension_batch;
+  const bool full_mode = config_.mode == sched::ReconfigMode::kFull;
+
+  // One helper: re-attempt the task at `index`, removing it from the queue
+  // on success or final failure. Returns true when it was placed.
+  const auto attempt_at = [this](std::size_t index) {
+    const TaskId id = suspension_.tasks()[index];
+    store_.meter().BeginTask();
+    const sched::Outcome outcome = AttemptSchedule(id, /*is_arrival=*/false);
+    if (outcome == sched::Outcome::kPlaced ||
+        outcome == sched::Outcome::kDiscard) {
+      suspension_.RemoveAt(index, store_.meter());
+      return outcome == sched::Outcome::kPlaced;
+    }
+    // The prefilter was optimistic but the policy could not place the task
+    // anywhere: count the retry and optionally give up on it.
+    resource::Task& failed = tasks_.Get(id);
+    ++failed.sus_retry;
+    if (config_.max_suspension_retries != 0 &&
+        failed.sus_retry >= config_.max_suspension_retries) {
+      suspension_.RemoveAt(index, store_.meter());
+      failed.state = resource::TaskState::kDiscarded;
+      metrics_.OnDiscarded();
+      Emit(SimEvent::Kind::kDiscarded, id);
+    }
+    return false;
+  };
+
+  if (full_mode) {
+    // Full reconfiguration: a queued task is executable *on this node*
+    // without reconfiguration only if it wants exactly the configuration
+    // the node carries. The traversal mirrors the original DReAMSim's
+    // RemoveTaskFromSusQueue: it checks every queued task (this full,
+    // per-completion queue walk is what makes the paper's Fig. 9 curves
+    // for the full scenario grow with the queue), keeping the oldest exact
+    // match and — only when no match exists anywhere — the oldest task the
+    // node's whole fabric could be reconfigured to fit (so nodes cannot
+    // idle forever once arrivals stop).
+    const bool by_priority = config_.priority_scheduling;
+    std::size_t match_index = 0;
+    bool has_match = false;
+    double match_priority = 0.0;
+    std::size_t fallback_index = 0;
+    bool has_fallback = false;
+    double fallback_priority = 0.0;
+    for (std::size_t i = 0; i < suspension_.size(); ++i) {
+      const resource::Task& task = tasks_.Get(suspension_.tasks()[i]);
+      store_.meter().Add(resource::StepKind::kSchedulingSearch);
+      if (task.resolved_config == freed_config) {
+        if (!has_match || (by_priority && task.priority > match_priority)) {
+          match_index = i;
+          match_priority = task.priority;
+          has_match = true;
+        }
+      } else if (task.needed_area <= node.total_area() &&
+                 (!task.resolved_config.valid() ||
+                  store_.configs()
+                      .Get(task.resolved_config)
+                      .CompatibleWith(node.family()))) {
+        if (!has_fallback ||
+            (by_priority && task.priority > fallback_priority)) {
+          fallback_index = i;
+          fallback_priority = task.priority;
+          has_fallback = true;
+        }
+      }
+    }
+    if (has_match) {
+      (void)attempt_at(match_index);
+    } else if (has_fallback) {
+      (void)attempt_at(fallback_index);
+    }
+    return;
+  }
+
+  // Partial reconfiguration has "more options": a matching idle entry,
+  // spare area, or reclaimable idle regions all qualify, so the FIFO-first
+  // fitting task wins (usually via re-configuring a region) — or, under
+  // priority scheduling, the highest-priority fitting task.
+  if (config_.priority_scheduling) {
+    for (std::size_t policy_runs = 0; policy_runs < max_policy_runs;
+         ++policy_runs) {
+      // Full counted scan for the best (priority, FIFO-tie) candidate.
+      std::size_t best_index = 0;
+      bool found = false;
+      double best_priority = 0.0;
+      for (std::size_t i = 0; i < suspension_.size(); ++i) {
+        const resource::Task& task = tasks_.Get(suspension_.tasks()[i]);
+        store_.meter().Add(resource::StepKind::kSchedulingSearch);
+        if (!CouldUseNode(task, node, freed_config)) continue;
+        if (!found || task.priority > best_priority) {
+          best_index = i;
+          best_priority = task.priority;
+          found = true;
+        }
+      }
+      if (!found) return;
+      const TaskId candidate_id = suspension_.tasks()[best_index];
+      if (!attempt_at(best_index)) {
+        // kSuspend left the task in place; re-scanning would loop.
+        if (best_index < suspension_.size() &&
+            suspension_.tasks()[best_index] == candidate_id) {
+          return;
+        }
+      }
+    }
+    return;
+  }
+
+  // FIFO drain: one resumable pass; each queue entry is inspected at most
+  // once per completion.
+  std::size_t index = 0;
+  std::size_t policy_runs = 0;
+  while (index < suspension_.size() && policy_runs < max_policy_runs) {
+    const resource::Task& task = tasks_.Get(suspension_.tasks()[index]);
+    store_.meter().Add(resource::StepKind::kSchedulingSearch);
+    if (!CouldUseNode(task, node, freed_config)) {
+      ++index;
+      continue;
+    }
+    ++policy_runs;
+    if (!attempt_at(index)) {
+      // kSuspend keeps the task at `index`; a repeat attempt this drain
+      // would loop, so stop. (Removal cases leave `index` pointing at the
+      // next FIFO entry and the loop continues.)
+      if (index < suspension_.size() &&
+          suspension_.tasks()[index] == task.id) {
+        return;
+      }
+    }
+  }
+}
+
+MetricsReport Simulator::FinishReport() {
+  const Tick end = kernel_.now();
+  // Any task still suspended when the event queue drained can never run.
+  while (!suspension_.empty()) {
+    const auto id = suspension_.PopFirstMatching(
+        [](TaskId) { return true; }, store_.meter());
+    if (!id) break;
+    resource::Task& task = tasks_.Get(*id);
+    task.state = resource::TaskState::kDiscarded;
+    metrics_.OnDiscarded();
+    Emit(SimEvent::Kind::kDiscarded, *id);
+  }
+  utilization_ = monitor_.Finish(end);
+  MetricsReport report = metrics_.Finish(config_, policy_->name(), store_, end);
+  const CacheStats cache = bitstream_cache_stats();
+  report.bitstream_hits = cache.hits;
+  report.bitstream_misses = cache.misses;
+  report.bitstream_transfer_time = bitstream_transfer_total_;
+  return report;
+}
+
+}  // namespace dreamsim::core

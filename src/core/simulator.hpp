@@ -1,0 +1,166 @@
+// The Simulator facade (the paper's DreamSim class): wires the kernel, the
+// resource store, the policy, the suspension queue, the network model, the
+// monitoring module, and the metrics collector into one runnable system.
+//
+// Event flow per task (RunScheduler of Sec. IV-C):
+//   arrival --> scheduling attempt --> placed    --> completion event
+//                                  \-> suspended --> retried on completions
+//                                  \-> discarded
+//
+// Each completion drains the suspension queue FIFO-first (bounded batch per
+// event, preserving the paper's "check the suspension queue on every task
+// completion" semantics at bounded cost).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/metrics.hpp"
+#include "core/sim_config.hpp"
+#include "net/bitstream_cache.hpp"
+#include "net/network.hpp"
+#include "resource/store.hpp"
+#include "resource/suspension_queue.hpp"
+#include "resource/task.hpp"
+#include "rms/job_manager.hpp"
+#include "rms/monitor.hpp"
+#include "rms/resource_info.hpp"
+#include "sched/policy.hpp"
+#include "sim/kernel.hpp"
+#include "workload/generator.hpp"
+
+namespace dreamsim::core {
+
+/// One task-lifecycle event, as observed by the optional event logger.
+struct SimEvent {
+  enum class Kind : std::uint8_t {
+    kArrival,
+    kPlaced,
+    kSuspended,
+    kDiscarded,
+    kCompleted,
+  };
+  Kind kind;
+  Tick tick = 0;
+  TaskId task;
+  /// Node/config are set for kPlaced and kCompleted only.
+  NodeId node;
+  ConfigId config;
+};
+
+[[nodiscard]] std::string_view ToString(SimEvent::Kind kind);
+
+/// One self-contained simulation run. Construct, then call Run() (or
+/// RunWithWorkload() to replay a trace). Not reusable: build a fresh
+/// Simulator per run.
+class Simulator {
+ public:
+  explicit Simulator(SimulationConfig config);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Generates the synthetic workload from the config and runs to
+  /// completion. Returns the Table I metrics.
+  [[nodiscard]] MetricsReport Run();
+
+  /// Runs a pre-materialized workload (trace replay / tests).
+  [[nodiscard]] MetricsReport RunWithWorkload(const workload::Workload& wl);
+
+  /// Optional hook invoked after every task completion (used by the
+  /// task-graph session to release successors). Set before Run*().
+  void SetCompletionHook(std::function<void(TaskId, Tick)> hook) {
+    completion_hook_ = std::move(hook);
+  }
+
+  /// Submits one extra task to arrive at tick `at` (>= now). Usable from a
+  /// completion hook while the run is in flight.
+  TaskId SubmitTaskAt(const workload::GeneratedTask& task, Tick at);
+
+  /// Optional observer of every task-lifecycle event (arrival, placement,
+  /// suspension, discard, completion) in execution order. Set before
+  /// Run*(); pass nullptr to disable. Used for event traces and debugging.
+  void SetEventLogger(std::function<void(const SimEvent&)> logger) {
+    event_logger_ = std::move(logger);
+  }
+
+  // --- Post-run inspection ---
+  [[nodiscard]] const resource::ResourceStore& store() const { return store_; }
+  [[nodiscard]] const resource::TaskStore& tasks() const { return tasks_; }
+  [[nodiscard]] const SimulationConfig& config() const { return config_; }
+  [[nodiscard]] const sim::Kernel& kernel() const { return kernel_; }
+  [[nodiscard]] const rms::UtilizationReport& utilization() const {
+    return utilization_;
+  }
+  [[nodiscard]] const sched::Policy& policy() const { return *policy_; }
+
+  /// Aggregate bitstream-cache statistics across nodes (ship_bitstreams
+  /// extension; zeros otherwise).
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  [[nodiscard]] CacheStats bitstream_cache_stats() const;
+
+ private:
+  /// Ticks spent shipping the bitstream for a fresh configuration on
+  /// `node` (0 on cache hit or when shipping is disabled).
+  [[nodiscard]] Tick BitstreamDelay(const resource::Node& node,
+                                    ConfigId config);
+  void Emit(SimEvent::Kind kind, TaskId task,
+            NodeId node = NodeId::invalid(),
+            ConfigId config = ConfigId::invalid()) {
+    if (event_logger_) {
+      event_logger_(SimEvent{kind, kernel_.now(), task, node, config});
+    }
+  }
+  void HandleArrival(TaskId id);
+  void HandleCompletion(TaskId id, resource::EntryRef entry);
+  /// One policy attempt; performs all placed/discard bookkeeping. Returns
+  /// the outcome (kSuspend leaves queue management to the caller).
+  sched::Outcome AttemptSchedule(TaskId id, bool is_arrival);
+  void EnqueueSuspended(TaskId id);
+  /// Node-targeted queue check after a completion on `freed` (the paper's
+  /// RemoveTaskFromSusQueue: find "a suitable task ... which can be
+  /// executed on the node"). Full mode prefers a task whose resolved
+  /// configuration matches the freed one (reuse without reconfiguration),
+  /// falling back to any task the node's fabric could fit; partial mode
+  /// takes the FIFO-first task the node can accommodate via allocation,
+  /// spare area, or reclaiming idle entries. The candidate scan is charged
+  /// as scheduler search effort; policy runs per completion are bounded by
+  /// suspension_batch.
+  void DrainSuspensionQueue(resource::EntryRef freed, ConfigId freed_config);
+  /// Partial-mode prefilter: could `task` plausibly run on `node` now?
+  [[nodiscard]] bool CouldUseNode(const resource::Task& task,
+                                  const resource::Node& node,
+                                  ConfigId freed_config) const;
+  [[nodiscard]] std::unique_ptr<sched::Policy> MakePolicy() const;
+  [[nodiscard]] MetricsReport FinishReport();
+
+  SimulationConfig config_;
+  Rng rng_;
+  sim::Kernel kernel_;
+  resource::ResourceStore store_;
+  resource::TaskStore tasks_;
+  resource::SuspensionQueue suspension_;
+  std::unique_ptr<sched::Policy> policy_;
+  net::NetworkModel network_;
+  std::vector<net::BitstreamCache> bitstream_caches_;  // one per node
+  Tick bitstream_transfer_total_ = 0;
+  MetricsCollector metrics_;
+  rms::ResourceInformationManager info_;
+  rms::MonitoringModule monitor_;
+  rms::JobSubmissionManager jobs_;
+  rms::UtilizationReport utilization_;
+  std::function<void(TaskId, Tick)> completion_hook_;
+  std::function<void(const SimEvent&)> event_logger_;
+  bool ran_ = false;
+};
+
+/// Builds the policy named by `choice` (DreamSim honours `mode`; the
+/// heuristic baselines always use partial-reconfiguration semantics).
+[[nodiscard]] std::unique_ptr<sched::Policy> MakePolicy(
+    PolicyChoice choice, sched::ReconfigMode mode, std::uint64_t seed);
+
+}  // namespace dreamsim::core

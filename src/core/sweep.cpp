@@ -1,0 +1,77 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "util/fmt.hpp"
+
+namespace dreamsim::core {
+
+std::vector<int> PaperTaskCounts(double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("PaperTaskCounts scale must be in (0, 1]");
+  }
+  std::vector<int> counts;
+  const auto scaled = [scale](int n) {
+    return std::max(1000, static_cast<int>(std::lround(n * scale)));
+  };
+  counts.push_back(scaled(1000));
+  for (int n = 10000; n <= 100000; n += 10000) counts.push_back(scaled(n));
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+std::vector<MetricsReport> RunSweep(const SweepParams& params) {
+  struct Point {
+    sched::ReconfigMode mode;
+    int tasks;
+  };
+  std::vector<Point> points;
+  points.reserve(params.modes.size() * params.task_counts.size());
+  for (const sched::ReconfigMode mode : params.modes) {
+    for (const int tasks : params.task_counts) {
+      points.push_back(Point{mode, tasks});
+    }
+  }
+
+  std::vector<MetricsReport> reports(points.size());
+  std::atomic<std::size_t> next{0};
+  // Each worker claims points off a shared counter; simulations are fully
+  // independent so no further synchronization is needed.
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= points.size()) return;
+      SimulationConfig config = params.base;
+      config.mode = points[i].mode;
+      config.tasks.total_tasks = points[i].tasks;
+      if (config.label.empty()) {
+        config.label = Format("{}-n{}-t{}", sched::ToString(points[i].mode),
+                              config.nodes.count, points[i].tasks);
+      }
+      Simulator simulator(std::move(config));
+      reports[i] = simulator.Run();
+    }
+  };
+
+  unsigned threads = params.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(
+      threads, static_cast<unsigned>(std::max<std::size_t>(1, points.size())));
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  }
+  return reports;
+}
+
+}  // namespace dreamsim::core

@@ -1,0 +1,45 @@
+#include "net/bitstream_cache.hpp"
+
+namespace dreamsim::net {
+
+BitstreamCache::BitstreamCache(Bytes capacity) : capacity_(capacity) {}
+
+bool BitstreamCache::Lookup(ConfigId config) {
+  const auto it = map_.find(config);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return true;
+}
+
+void BitstreamCache::Insert(ConfigId config, Bytes size) {
+  if (capacity_ <= 0 || size > capacity_) return;
+  const auto it = map_.find(config);
+  if (it != map_.end()) {
+    used_ -= it->second->size;
+    it->second->size = size;
+    used_ += size;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (used_ + size > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.size;
+    map_.erase(victim.config);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{config, size});
+  map_.emplace(config, lru_.begin());
+  used_ += size;
+}
+
+void BitstreamCache::Clear() {
+  lru_.clear();
+  map_.clear();
+  used_ = 0;
+}
+
+}  // namespace dreamsim::net

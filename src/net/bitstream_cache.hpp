@@ -1,0 +1,62 @@
+// Per-node bitstream cache (extension).
+//
+// In Fig. 1 the RMS configures nodes by "sending a bitstream of a different
+// configuration" over the network. Nodes commonly keep recently used
+// partial bitstreams in local flash/DRAM, so reconfiguring back to a recent
+// configuration skips the transfer. This LRU cache models that: capacity
+// in bytes, hit => no bitstream shipping delay, miss => full transfer and
+// insertion. Disabled (capacity 0) the simulator reproduces the paper's
+// always-ship behaviour.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "util/types.hpp"
+
+namespace dreamsim::net {
+
+/// Byte-capacity LRU cache of configuration bitstreams for one node.
+class BitstreamCache {
+ public:
+  /// `capacity` in bytes; 0 disables the cache (every lookup misses,
+  /// nothing is stored).
+  explicit BitstreamCache(Bytes capacity = 0);
+
+  /// True (and refreshes recency) when `config`'s bitstream is resident.
+  bool Lookup(ConfigId config);
+
+  /// Inserts a bitstream of `size` bytes, evicting least-recently-used
+  /// entries until it fits. Oversized bitstreams (> capacity) bypass the
+  /// cache entirely. Re-inserting refreshes recency and size.
+  void Insert(ConfigId config, Bytes size);
+
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] Bytes used() const { return used_; }
+  [[nodiscard]] std::size_t entries() const { return map_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] double HitRate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+  void Clear();
+
+ private:
+  struct Entry {
+    ConfigId config;
+    Bytes size;
+  };
+
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<ConfigId, std::list<Entry>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dreamsim::net

@@ -1,0 +1,38 @@
+#include "net/network.hpp"
+
+namespace dreamsim::net {
+
+NetworkModel::NetworkModel(NetworkParams params, std::uint64_t jitter_seed)
+    : params_(params), jitter_rng_(jitter_seed) {}
+
+Tick NetworkModel::Jitter() {
+  if (params_.max_jitter <= 0) return 0;
+  return jitter_rng_.uniform_int(0, params_.max_jitter);
+}
+
+Tick NetworkModel::TransferTime(const resource::Node& node, Bytes payload) {
+  bytes_transferred_ += payload;
+  Tick serialization = 0;
+  if (params_.bytes_per_tick > 0 && payload > 0) {
+    serialization =
+        (payload + params_.bytes_per_tick - 1) / params_.bytes_per_tick;
+  }
+  return params_.base_latency + node.network_delay() + serialization +
+         Jitter();
+}
+
+Tick NetworkModel::BitstreamTime(const resource::Node& node,
+                                 Bytes bitstream_size) {
+  bytes_transferred_ += bitstream_size;
+  const Bytes bandwidth = params_.bytes_per_tick > 0
+                              ? params_.bytes_per_tick
+                              : node.caps().config_bandwidth;
+  Tick serialization = 0;
+  if (bandwidth > 0 && bitstream_size > 0) {
+    serialization = (bitstream_size + bandwidth - 1) / bandwidth;
+  }
+  return params_.base_latency + node.network_delay() + serialization +
+         Jitter();
+}
+
+}  // namespace dreamsim::net

@@ -1,0 +1,58 @@
+// Network substrate for the t_comm term of Eq. 8 and for bitstream
+// distribution.
+//
+// Figure 1's system is a star around the Resource Management System: the RMS
+// ships task input data and configuration bitstreams to nodes over wired/
+// wireless/WAN links. The model is deliberately simple — per-node fixed
+// latency plus size/bandwidth serialization, with optional uniform jitter —
+// because the paper treats communication as a per-task additive delay.
+#pragma once
+
+#include <cstdint>
+
+#include "resource/node.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dreamsim::net {
+
+/// Link parameters between the RMS and the node population.
+struct NetworkParams {
+  /// Payload bandwidth in bytes per tick; 0 disables serialization delay.
+  Bytes bytes_per_tick = 0;
+  /// Extra fixed latency added to every transfer (on top of each node's
+  /// own network_delay).
+  Tick base_latency = 0;
+  /// Maximum uniform jitter in ticks added per transfer (0 = none).
+  Tick max_jitter = 0;
+};
+
+/// Computes task/bitstream transfer times. Stateless except for the jitter
+/// stream; one instance per simulation keeps runs deterministic.
+class NetworkModel {
+ public:
+  explicit NetworkModel(NetworkParams params, std::uint64_t jitter_seed = 1);
+
+  /// Ticks to move `payload` bytes from the RMS to `node` (the t_comm of
+  /// Eq. 8 for a task whose input data is `payload` bytes).
+  [[nodiscard]] Tick TransferTime(const resource::Node& node, Bytes payload);
+
+  /// Ticks to ship a configuration bitstream to `node`. Uses the node's
+  /// configuration-port bandwidth when the payload bandwidth is disabled.
+  [[nodiscard]] Tick BitstreamTime(const resource::Node& node,
+                                   Bytes bitstream_size);
+
+  [[nodiscard]] const NetworkParams& params() const { return params_; }
+
+  /// Total bytes accounted across all transfers (diagnostics).
+  [[nodiscard]] Bytes bytes_transferred() const { return bytes_transferred_; }
+
+ private:
+  [[nodiscard]] Tick Jitter();
+
+  NetworkParams params_;
+  Rng jitter_rng_;
+  Bytes bytes_transferred_ = 0;
+};
+
+}  // namespace dreamsim::net

@@ -1,0 +1,118 @@
+#include "ptype/catalogue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dreamsim::ptype {
+
+PtypeId Catalogue::Register(Ptype ptype) {
+  const auto id = PtypeId{static_cast<std::uint32_t>(types_.size())};
+  ptype.id = id;
+  types_.push_back(std::move(ptype));
+  return id;
+}
+
+PtypeId Catalogue::AddMultiplier(std::string name, int bit_width) {
+  Ptype t;
+  t.kind = PtypeKind::kMultiplier;
+  t.name = std::move(name);
+  t.params = {{"bit_width", bit_width}};
+  t.area = MultiplierArea(bit_width);
+  return Register(std::move(t));
+}
+
+PtypeId Catalogue::AddSystolicArray(std::string name, int rows, int cols) {
+  Ptype t;
+  t.kind = PtypeKind::kSystolicArray;
+  t.name = std::move(name);
+  t.params = {{"rows", rows}, {"cols", cols}};
+  t.area = SystolicArea(rows, cols);
+  return Register(std::move(t));
+}
+
+PtypeId Catalogue::AddDspPipeline(std::string name, int taps, int bit_width) {
+  Ptype t;
+  t.kind = PtypeKind::kDspPipeline;
+  t.name = std::move(name);
+  t.params = {{"taps", taps}, {"bit_width", bit_width}};
+  t.area = DspPipelineArea(taps, bit_width);
+  return Register(std::move(t));
+}
+
+PtypeId Catalogue::AddSignalProcessor(std::string name, Area area) {
+  Ptype t;
+  t.kind = PtypeKind::kSignalProcessor;
+  t.name = std::move(name);
+  t.params = {{"area_override", area}};
+  t.area = area;
+  return Register(std::move(t));
+}
+
+PtypeId Catalogue::AddVliw(std::string name, const VliwParams& p) {
+  Ptype t;
+  t.kind = PtypeKind::kSoftCoreVliw;
+  t.name = std::move(name);
+  t.params = {{"issue_width", p.issue_width},
+              {"alus", p.alus},
+              {"multipliers", p.multipliers},
+              {"memory_slots", p.memory_slots},
+              {"clusters", p.clusters}};
+  t.area = VliwArea(p);
+  return Register(std::move(t));
+}
+
+const Ptype& Catalogue::Get(PtypeId id) const {
+  if (!id.valid() || id.value() >= types_.size()) {
+    throw std::out_of_range("unknown PtypeId");
+  }
+  return types_[id.value()];
+}
+
+std::optional<PtypeId> Catalogue::FindByName(std::string_view name) const {
+  for (const Ptype& t : types_) {
+    if (t.name == name) return t.id;
+  }
+  return std::nullopt;
+}
+
+PtypeId Catalogue::Sample(Rng& rng) const {
+  if (types_.empty()) throw std::logic_error("sampling an empty catalogue");
+  const auto index = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(types_.size()) - 1));
+  return types_[index].id;
+}
+
+Catalogue Catalogue::Default() {
+  Catalogue c;
+  c.AddMultiplier("mult32", 32);
+  c.AddMultiplier("mult64", 64);
+  c.AddSystolicArray("systolic8x8", 8, 8);
+  c.AddSystolicArray("systolic16x16", 16, 16);
+  c.AddDspPipeline("fir64_16b", 64, 16);
+  c.AddDspPipeline("fir128_24b", 128, 24);
+  c.AddSignalProcessor("radar_frontend", 1400);
+  c.AddSignalProcessor("sdr_demod", 900);
+  c.AddVliw("rvex_2issue", VliwParams{.issue_width = 2,
+                                      .alus = 2,
+                                      .multipliers = 1,
+                                      .memory_slots = 1,
+                                      .clusters = 1});
+  c.AddVliw("rvex_4issue", VliwParams{.issue_width = 4,
+                                      .alus = 4,
+                                      .multipliers = 2,
+                                      .memory_slots = 1,
+                                      .clusters = 1});
+  c.AddVliw("rvex_8issue", VliwParams{.issue_width = 8,
+                                      .alus = 8,
+                                      .multipliers = 4,
+                                      .memory_slots = 2,
+                                      .clusters = 1});
+  c.AddVliw("rvex_4issue_2cluster", VliwParams{.issue_width = 4,
+                                               .alus = 4,
+                                               .multipliers = 2,
+                                               .memory_slots = 1,
+                                               .clusters = 2});
+  return c;
+}
+
+}  // namespace dreamsim::ptype

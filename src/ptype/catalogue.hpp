@@ -1,0 +1,53 @@
+// Registry of processor types available to the configuration generator.
+//
+// The user-defined resource specification module (Sec. III) can generate "a
+// variety of processor configurations"; this catalogue is where their
+// processor types come from. A default catalogue mirrors the paper's
+// examples; users can register their own types.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ptype/ptype.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dreamsim::ptype {
+
+/// Owning registry of Ptype definitions, indexed by dense PtypeId.
+class Catalogue {
+ public:
+  /// Registers a type; the stored copy receives its id. Returns the id.
+  PtypeId Register(Ptype ptype);
+
+  /// Convenience builders for the modeled kinds.
+  PtypeId AddMultiplier(std::string name, int bit_width);
+  PtypeId AddSystolicArray(std::string name, int rows, int cols);
+  PtypeId AddDspPipeline(std::string name, int taps, int bit_width);
+  PtypeId AddSignalProcessor(std::string name, Area area);
+  PtypeId AddVliw(std::string name, const VliwParams& params);
+
+  [[nodiscard]] const Ptype& Get(PtypeId id) const;
+  [[nodiscard]] std::size_t size() const { return types_.size(); }
+  [[nodiscard]] bool empty() const { return types_.empty(); }
+  [[nodiscard]] const std::vector<Ptype>& all() const { return types_; }
+
+  /// Finds a type by name; nullopt when absent.
+  [[nodiscard]] std::optional<PtypeId> FindByName(std::string_view name) const;
+
+  /// Draws a uniformly random registered type id. Requires !empty().
+  [[nodiscard]] PtypeId Sample(Rng& rng) const;
+
+  /// Builds the default catalogue: a spread of multipliers, systolic
+  /// arrays, DSP pipelines, signal processors, and rho-VEX-style VLIW
+  /// variants whose areas span roughly Table II's [200, 2000] range.
+  [[nodiscard]] static Catalogue Default();
+
+ private:
+  std::vector<Ptype> types_;
+};
+
+}  // namespace dreamsim::ptype

@@ -1,0 +1,70 @@
+#include "ptype/ptype.hpp"
+
+#include <algorithm>
+
+namespace dreamsim::ptype {
+
+std::string_view ToString(PtypeKind kind) {
+  switch (kind) {
+    case PtypeKind::kMultiplier: return "multiplier";
+    case PtypeKind::kSystolicArray: return "systolic-array";
+    case PtypeKind::kDspPipeline: return "dsp-pipeline";
+    case PtypeKind::kSignalProcessor: return "signal-processor";
+    case PtypeKind::kSoftCoreVliw: return "soft-core-vliw";
+  }
+  return "?";
+}
+
+std::int64_t Ptype::Param(std::string_view param_name,
+                          std::int64_t fallback) const {
+  for (const Parameter& p : params) {
+    if (p.name == param_name) return p.value;
+  }
+  return fallback;
+}
+
+Area VliwArea(const VliwParams& p) {
+  // Base decode/fetch control, per-issue dispatch, per-FU datapath and a
+  // register-file term growing with issue width; all scaled by clusters.
+  const std::int64_t per_cluster =
+      120                                   // control + fetch
+      + 40 * p.issue_width                  // dispatch lanes
+      + 55 * p.alus                         // ALU datapaths
+      + 90 * p.multipliers                  // multiplier datapaths
+      + 70 * p.memory_slots                 // load/store units
+      + 8 * p.issue_width * p.issue_width;  // register-file ports
+  return std::max<std::int64_t>(1, per_cluster * p.clusters);
+}
+
+Area SystolicArea(int rows, int cols, int pe_area) {
+  const std::int64_t pes = static_cast<std::int64_t>(rows) * cols;
+  // Processing elements plus boundary I/O buffers.
+  return std::max<std::int64_t>(1, pes * pe_area + 10L * (rows + cols));
+}
+
+Area DspPipelineArea(int taps, int bit_width) {
+  // One MAC per tap; MAC cost grows with operand width.
+  const std::int64_t mac = 3L * bit_width;
+  return std::max<std::int64_t>(1, taps * mac + 50);
+}
+
+Area MultiplierArea(int bit_width) {
+  // Array multiplier: quadratic in width, plus pipeline registers.
+  const std::int64_t w = bit_width;
+  return std::max<std::int64_t>(1, (w * w) / 4 + 4 * w);
+}
+
+Bytes BitstreamSize(Area area) {
+  // ~96 bytes of configuration frames per area unit plus a fixed header;
+  // consistent with partial bitstreams of real devices scaling linearly
+  // with region size.
+  return 96 * area + 1024;
+}
+
+Tick ConfigTimeFromBitstream(Bytes bitstream, Bytes bytes_per_tick) {
+  if (bytes_per_tick <= 0) return 1;
+  const Tick ticks = (bitstream + bytes_per_tick - 1) / bytes_per_tick;
+  return std::max<Tick>(1, ticks);
+}
+
+}  // namespace dreamsim::ptype

@@ -1,0 +1,86 @@
+// Processor-type models (the P_type of Eq. 2).
+//
+// A configuration instantiates a processor of a certain type on a node's
+// reconfigurable fabric; the `param` set of Eq. 2 carries the architectural
+// details. The paper names multipliers, systolic arrays, soft-core
+// processors (the rho-VEX VLIW of [16]) and custom signal processors as
+// examples; this catalogue models each with an area/bitstream cost model so
+// synthetic configurations have physically plausible footprints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dreamsim::ptype {
+
+/// Families of processor type the catalogue can instantiate.
+enum class PtypeKind : std::uint8_t {
+  kMultiplier,       // wide multiplier / MAC block
+  kSystolicArray,    // NxN systolic compute array
+  kDspPipeline,      // fixed-function DSP chain (FIR/FFT stages)
+  kSignalProcessor,  // custom-made signal processor
+  kSoftCoreVliw,     // parameterizable rho-VEX-style VLIW soft-core
+};
+
+[[nodiscard]] std::string_view ToString(PtypeKind kind);
+
+/// One named architectural parameter (entry of the Eq. 2 `param` set).
+struct Parameter {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+/// A concrete processor type: kind + parameter values + derived costs.
+struct Ptype {
+  PtypeId id;
+  PtypeKind kind = PtypeKind::kMultiplier;
+  std::string name;
+  std::vector<Parameter> params;
+
+  /// Area footprint in area units, derived from the parameters.
+  Area area = 0;
+
+  /// Parameter lookup; returns `fallback` when absent.
+  [[nodiscard]] std::int64_t Param(std::string_view param_name,
+                                   std::int64_t fallback = 0) const;
+};
+
+/// Parameters of the rho-VEX-style soft-core VLIW ([16]): "the number and
+/// types of functional units (multipliers and ALUs), cluster cores, the
+/// number of issues, or the number of memory slots".
+struct VliwParams {
+  int issue_width = 4;
+  int alus = 4;
+  int multipliers = 2;
+  int memory_slots = 1;
+  int clusters = 1;
+};
+
+/// Area model for a VLIW soft-core: base control plus per-unit costs,
+/// scaled by cluster count. Returned in abstract area units consistent
+/// with Table II's [200, 2000] configuration range.
+[[nodiscard]] Area VliwArea(const VliwParams& p);
+
+/// Area model for an NxN systolic array.
+[[nodiscard]] Area SystolicArea(int rows, int cols, int pe_area = 6);
+
+/// Area model for a k-tap DSP pipeline.
+[[nodiscard]] Area DspPipelineArea(int taps, int bit_width);
+
+/// Area model for a wide multiplier block.
+[[nodiscard]] Area MultiplierArea(int bit_width);
+
+/// Bitstream size model: partial bitstream bytes grow linearly with the
+/// region's area (frames per area unit times bytes per frame).
+[[nodiscard]] Bytes BitstreamSize(Area area);
+
+/// Configuration time model in ticks: bitstream size divided by the
+/// configuration-port bandwidth (bytes per tick), at least 1 tick.
+[[nodiscard]] Tick ConfigTimeFromBitstream(Bytes bitstream,
+                                           Bytes bytes_per_tick);
+
+}  // namespace dreamsim::ptype

@@ -1,0 +1,100 @@
+// Processor configurations (Eq. 2) and their catalogue.
+//
+//   C_i(ReqArea, Ptype, param, BSize, ConfigTime)
+//
+// A configuration is a synthesizable processor instance that can be loaded
+// onto a node's reconfigurable fabric by sending its bitstream. The
+// catalogue is the "configurations list" the scheduler searches with
+// FindPreferredConfig / FindClosestConfig.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ptype/catalogue.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dreamsim::resource {
+
+/// One processor configuration (Eq. 2).
+struct Configuration {
+  ConfigId id;
+  /// Reconfigurable area the instance occupies.
+  Area required_area = 0;
+  /// Processor type implemented by this configuration.
+  PtypeId ptype;
+  /// Bitstream file size (BSize).
+  Bytes bitstream_size = 0;
+  /// Ticks to (re)configure a region with this bitstream.
+  Tick config_time = 1;
+  /// Device family the bitstream was synthesized for. A configuration can
+  /// only be loaded onto nodes of the same family ("a device family
+  /// defines the group of compatible nodes", Eq. 1). Invalid = universal
+  /// (the paper's evaluation, which uses a single implicit family).
+  FamilyId family;
+
+  /// True when this configuration can be loaded on a node of
+  /// `node_family`.
+  [[nodiscard]] bool CompatibleWith(FamilyId node_family) const {
+    return !family.valid() || family == node_family;
+  }
+};
+
+/// Parameters for synthetic configuration generation (Table II:
+/// "Configurations ReqArea range [200...2000]", "t_config range [10...20]").
+struct ConfigGenParams {
+  int count = 50;
+  Area min_area = 200;
+  Area max_area = 2000;
+  Tick min_config_time = 10;
+  Tick max_config_time = 20;
+  /// Number of device families the configurations are synthesized for
+  /// (round-robin). <= 1 keeps every configuration universal, matching the
+  /// paper's single-family evaluation.
+  int family_count = 1;
+};
+
+/// Dense catalogue of configurations, indexed by ConfigId. Searches are
+/// linear and report their step counts, matching the paper's "simple linear
+/// search is employed" and its scheduling-step metrics.
+class ConfigCatalogue {
+ public:
+  /// Registers a configuration; the stored copy receives its id.
+  ConfigId Add(Configuration config);
+
+  /// InitConfigs(): generates `params.count` configurations with uniformly
+  /// distributed ReqArea and ConfigTime, processor types sampled from
+  /// `ptypes`, and BSize derived from area.
+  static ConfigCatalogue Generate(const ConfigGenParams& params,
+                                  const ptype::Catalogue& ptypes, Rng& rng);
+
+  [[nodiscard]] const Configuration& Get(ConfigId id) const;
+  [[nodiscard]] bool Contains(ConfigId id) const;
+  [[nodiscard]] std::size_t size() const { return configs_.size(); }
+  [[nodiscard]] bool empty() const { return configs_.empty(); }
+  [[nodiscard]] const std::vector<Configuration>& all() const {
+    return configs_;
+  }
+
+  /// FindPreferredConfig(): linear scan for `preferred`; adds one step per
+  /// visited entry to `steps`. Returns nullopt when absent.
+  [[nodiscard]] std::optional<ConfigId> FindPreferred(ConfigId preferred,
+                                                      Steps& steps) const;
+
+  /// FindClosestConfig(): the configuration whose ReqArea is minimal among
+  /// all with ReqArea >= `needed_area` ("more than the ReqArea of the
+  /// C_pref"). Linear counted scan; nullopt when nothing is large enough.
+  [[nodiscard]] std::optional<ConfigId> FindClosestMatch(Area needed_area,
+                                                         Steps& steps) const;
+
+  /// Largest ReqArea in the catalogue (0 when empty); used for fast
+  /// infeasibility checks.
+  [[nodiscard]] Area max_required_area() const { return max_area_; }
+
+ private:
+  std::vector<Configuration> configs_;
+  Area max_area_ = 0;
+};
+
+}  // namespace dreamsim::resource

@@ -1,0 +1,31 @@
+#include "resource/entry_list.hpp"
+
+namespace dreamsim::resource {
+
+void EntryList::Add(EntryRef entry, WorkloadMeter& meter) {
+  meter.Add(StepKind::kHousekeeping);
+  cells_.push_back(entry);
+}
+
+bool EntryList::Remove(EntryRef entry, WorkloadMeter& meter) {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    meter.Add(StepKind::kHousekeeping);
+    if (cells_[i] == entry) {
+      cells_[i] = cells_.back();
+      cells_.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EntryList::Contains(EntryRef entry, WorkloadMeter& meter,
+                         StepKind kind) const {
+  for (const EntryRef& e : cells_) {
+    meter.Add(kind);
+    if (e == entry) return true;
+  }
+  return false;
+}
+
+}  // namespace dreamsim::resource

@@ -1,0 +1,88 @@
+// Per-configuration idle/busy membership lists (Fig. 3).
+//
+// The paper threads Inext/Bnext pointers through the nodes so that "these
+// linked lists ease up the search effort needed to get the state information
+// of a certain node". With partial reconfiguration a node can appear in
+// several configurations' lists at once (idle w.r.t. config A, busy w.r.t.
+// config B), so membership is per *entry* (node, slot), held in cells like
+// the UML's IdleList/BusyList (`Item`, `Next`).
+//
+// Cells live in a contiguous vector: push is O(1), membership removal and
+// all searches are counted linear traversals — the same step costs the
+// paper's metrics measure on its linked lists, with better locality.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "resource/node.hpp"
+#include "resource/workload_meter.hpp"
+#include "util/types.hpp"
+
+namespace dreamsim::resource {
+
+/// Reference to one config-task-pair entry on one node.
+struct EntryRef {
+  NodeId node;
+  SlotIndex slot = kInvalidSlot;
+
+  friend constexpr bool operator==(EntryRef, EntryRef) = default;
+};
+
+/// Counted-traversal membership list of entries.
+class EntryList {
+ public:
+  /// O(1) insertion (push-front semantics of a linked list).
+  void Add(EntryRef entry, WorkloadMeter& meter);
+
+  /// Removes `entry`; counted linear search. Returns false when absent.
+  bool Remove(EntryRef entry, WorkloadMeter& meter);
+
+  /// Counted linear membership test.
+  [[nodiscard]] bool Contains(EntryRef entry, WorkloadMeter& meter,
+                              StepKind kind) const;
+
+  /// Visits every entry (one counted step each) and returns the first for
+  /// which `pred(entry)` is true, or nullopt. The predicate itself may add
+  /// further steps (e.g. when it inspects node state).
+  template <typename Pred>
+  [[nodiscard]] std::optional<EntryRef> FindFirst(Pred&& pred,
+                                                  WorkloadMeter& meter,
+                                                  StepKind kind) const {
+    for (const EntryRef& e : cells_) {
+      meter.Add(kind);
+      if (pred(e)) return e;
+    }
+    return std::nullopt;
+  }
+
+  /// Full counted scan returning the entry minimizing `key(entry)`; ties
+  /// keep the earliest. Returns nullopt for an empty list or when `accept`
+  /// rejects every entry.
+  template <typename Key, typename Accept>
+  [[nodiscard]] std::optional<EntryRef> FindMin(Key&& key, Accept&& accept,
+                                                WorkloadMeter& meter,
+                                                StepKind kind) const {
+    std::optional<EntryRef> best;
+    long long best_key = 0;
+    for (const EntryRef& e : cells_) {
+      meter.Add(kind);
+      if (!accept(e)) continue;
+      const long long k = key(e);
+      if (!best || k < best_key) {
+        best = e;
+        best_key = k;
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] bool empty() const { return cells_.empty(); }
+  [[nodiscard]] const std::vector<EntryRef>& cells() const { return cells_; }
+
+ private:
+  std::vector<EntryRef> cells_;
+};
+
+}  // namespace dreamsim::resource

@@ -1,0 +1,155 @@
+#include "resource/fabric.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace dreamsim::resource {
+
+std::string_view ToString(Placement placement) {
+  switch (placement) {
+    case Placement::kFirstFit: return "first-fit";
+    case Placement::kBestFit: return "best-fit";
+    case Placement::kWorstFit: return "worst-fit";
+  }
+  return "?";
+}
+
+FabricLayout::FabricLayout(Area total) : total_(total) {
+  if (total <= 0) throw std::invalid_argument("fabric total must be positive");
+  free_.push_back(Extent{0, total});
+}
+
+std::optional<Extent> FabricLayout::Allocate(Area size, Placement placement) {
+  if (size <= 0) throw std::invalid_argument("allocation size must be positive");
+  std::size_t chosen = free_.size();
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i].size < size) continue;
+    if (chosen == free_.size()) {
+      chosen = i;
+      if (placement == Placement::kFirstFit) break;
+      continue;
+    }
+    const bool better = placement == Placement::kBestFit
+                            ? free_[i].size < free_[chosen].size
+                            : free_[i].size > free_[chosen].size;
+    if (better) chosen = i;
+  }
+  if (chosen == free_.size()) return std::nullopt;
+
+  Extent& hole = free_[chosen];
+  const Extent allocated{hole.offset, size};
+  if (hole.size == size) {
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(chosen));
+  } else {
+    hole.offset += size;
+    hole.size -= size;
+  }
+  return allocated;
+}
+
+void FabricLayout::Free(const Extent& extent) {
+  if (extent.size <= 0 || extent.offset < 0 || extent.end() > total_) {
+    throw std::logic_error("freeing an out-of-bounds extent");
+  }
+  // Insertion point: first hole starting at or after the freed region.
+  const auto it = std::lower_bound(
+      free_.begin(), free_.end(), extent,
+      [](const Extent& a, const Extent& b) { return a.offset < b.offset; });
+  if (it != free_.end() && extent.end() > it->offset) {
+    throw std::logic_error("double free: extent overlaps a free hole");
+  }
+  if (it != free_.begin() && std::prev(it)->end() > extent.offset) {
+    throw std::logic_error("double free: extent overlaps a free hole");
+  }
+
+  auto inserted = free_.insert(it, extent);
+  // Coalesce with the successor...
+  const auto next = std::next(inserted);
+  if (next != free_.end() && inserted->end() == next->offset) {
+    inserted->size += next->size;
+    inserted = std::prev(free_.erase(next));
+  }
+  // ...and with the predecessor.
+  if (inserted != free_.begin()) {
+    const auto prev = std::prev(inserted);
+    if (prev->end() == inserted->offset) {
+      prev->size += inserted->size;
+      free_.erase(inserted);
+    }
+  }
+}
+
+bool FabricLayout::CanAllocate(Area size) const {
+  return largest_free_extent() >= size;
+}
+
+bool FabricLayout::CanAllocateAfterFreeing(std::span<const Extent> pending,
+                                           Area size) const {
+  // Merge the current holes with the would-be-freed extents, then look for
+  // a hole of `size`. O((h + p) log (h + p)) — callers pass few extents.
+  std::vector<Extent> holes(free_.begin(), free_.end());
+  holes.insert(holes.end(), pending.begin(), pending.end());
+  std::sort(holes.begin(), holes.end(),
+            [](const Extent& a, const Extent& b) { return a.offset < b.offset; });
+  Area run_start = -1;
+  Area run_end = -1;
+  for (const Extent& e : holes) {
+    if (e.offset > run_end) {
+      run_start = e.offset;
+      run_end = e.end();
+    } else {
+      run_end = std::max(run_end, e.end());
+    }
+    if (run_end - run_start >= size) return true;
+  }
+  return false;
+}
+
+Area FabricLayout::free_area() const {
+  Area total = 0;
+  for (const Extent& e : free_) total += e.size;
+  return total;
+}
+
+Area FabricLayout::largest_free_extent() const {
+  Area largest = 0;
+  for (const Extent& e : free_) largest = std::max(largest, e.size);
+  return largest;
+}
+
+double FabricLayout::FragmentationIndex() const {
+  const Area free_total = free_area();
+  if (free_total == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_extent()) /
+                   static_cast<double>(free_total);
+}
+
+void FabricLayout::Reset() {
+  free_.clear();
+  free_.push_back(Extent{0, total_});
+}
+
+std::vector<std::string> FabricLayout::Validate() const {
+  std::vector<std::string> violations;
+  Area previous_end = -1;
+  for (const Extent& e : free_) {
+    if (e.size <= 0) {
+      violations.push_back(Format("hole at {} has size {}", e.offset, e.size));
+    }
+    if (e.offset < 0 || e.end() > total_) {
+      violations.push_back(
+          Format("hole [{}, {}) out of bounds", e.offset, e.end()));
+    }
+    if (e.offset <= previous_end) {
+      violations.push_back(Format(
+          "hole at {} overlaps or touches its predecessor (uncoalesced)",
+          e.offset));
+    }
+    previous_end = e.end();
+  }
+  return violations;
+}
+
+}  // namespace dreamsim::resource

@@ -1,0 +1,150 @@
+#include "resource/node.hpp"
+
+#include <stdexcept>
+
+namespace dreamsim::resource {
+
+Node::Node(NodeId id, Area total_area, FamilyId family, Caps caps,
+           bool contiguous_placement, Placement placement)
+    : id_(id),
+      total_area_(total_area),
+      available_area_(total_area),
+      family_(family),
+      caps_(caps),
+      placement_(placement) {
+  if (total_area <= 0) {
+    throw std::invalid_argument("node total_area must be positive");
+  }
+  if (contiguous_placement) layout_.emplace(total_area);
+}
+
+const FabricLayout& Node::layout() const {
+  if (!layout_) throw std::logic_error("node has no contiguous fabric layout");
+  return *layout_;
+}
+
+const Extent& Node::SlotExtent(SlotIndex slot) const {
+  if (!layout_) throw std::logic_error("node has no contiguous fabric layout");
+  if (!SlotLive(slot)) throw std::out_of_range("SlotExtent: dead slot");
+  return slot_extents_[slot];
+}
+
+bool Node::CanHost(Area area) const {
+  if (layout_) return layout_->CanAllocate(area);
+  return available_area_ >= area;
+}
+
+bool Node::CanHostAfterReclaiming(std::span<const SlotIndex> idle_slots,
+                                  Area area) const {
+  if (!layout_) {
+    // Scalar model: feasibility is the store's accumulated-area test
+    // (the node does not know configuration areas, only ids).
+    throw std::logic_error(
+        "CanHostAfterReclaiming requires contiguous placement");
+  }
+  std::vector<Extent> pending;
+  pending.reserve(idle_slots.size());
+  for (const SlotIndex slot : idle_slots) {
+    if (!Slot(slot).idle()) throw std::logic_error("reclaiming a busy slot");
+    pending.push_back(slot_extents_[slot]);
+  }
+  return layout_->CanAllocateAfterFreeing(pending, area);
+}
+
+std::optional<SlotIndex> Node::TrySendBitstream(const Configuration& config) {
+  if (config.required_area > available_area_) return std::nullopt;
+  Extent extent{0, config.required_area};
+  if (layout_) {
+    const auto allocated = layout_->Allocate(config.required_area, placement_);
+    if (!allocated) return std::nullopt;  // fragmented
+    extent = *allocated;
+  }
+  SlotIndex slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = ConfigTaskPair{config.id, TaskId::invalid()};
+  } else {
+    slot = static_cast<SlotIndex>(slots_.size());
+    slots_.emplace_back(ConfigTaskPair{config.id, TaskId::invalid()});
+    if (layout_) slot_extents_.emplace_back();
+  }
+  if (layout_) slot_extents_[slot] = extent;
+  available_area_ -= config.required_area;
+  ++live_entries_;
+  ++reconfig_count_;
+  return slot;
+}
+
+SlotIndex Node::SendBitstream(const Configuration& config) {
+  const auto slot = TrySendBitstream(config);
+  if (!slot) {
+    throw std::logic_error(
+        "SendBitstream: configuration does not fit (area or fragmentation)");
+  }
+  return *slot;
+}
+
+void Node::MakeNodeBlank() {
+  if (running_tasks_ > 0) {
+    throw std::logic_error("MakeNodeBlank: node has running tasks");
+  }
+  slots_.clear();
+  free_slots_.clear();
+  slot_extents_.clear();
+  live_entries_ = 0;
+  available_area_ = total_area_;
+  if (layout_) layout_->Reset();
+}
+
+void Node::MakeNodePartiallyBlank(SlotIndex slot, Area reclaimed_area) {
+  const ConfigTaskPair& pair = Slot(slot);
+  if (!pair.idle()) {
+    throw std::logic_error("MakeNodePartiallyBlank: slot is executing a task");
+  }
+  if (reclaimed_area < 0 || available_area_ + reclaimed_area > total_area_) {
+    throw std::logic_error("MakeNodePartiallyBlank: area accounting violated");
+  }
+  if (layout_) {
+    const Extent& extent = slot_extents_[slot];
+    if (extent.size != reclaimed_area) {
+      throw std::logic_error(
+          "MakeNodePartiallyBlank: reclaimed area disagrees with the extent");
+    }
+    layout_->Free(extent);
+  }
+  slots_[slot].reset();
+  free_slots_.push_back(slot);
+  --live_entries_;
+  available_area_ += reclaimed_area;
+  if (live_entries_ == 0) {
+    // All slots gone: normalize storage like MakeNodeBlank().
+    slots_.clear();
+    free_slots_.clear();
+    slot_extents_.clear();
+  }
+}
+
+void Node::AddTaskToNode(SlotIndex slot, TaskId task) {
+  if (!SlotLive(slot)) throw std::out_of_range("AddTaskToNode: dead slot");
+  ConfigTaskPair& pair = *slots_[slot];
+  if (!pair.idle()) throw std::logic_error("AddTaskToNode: slot already busy");
+  if (!task.valid()) throw std::invalid_argument("AddTaskToNode: invalid task");
+  pair.task = task;
+  ++running_tasks_;
+}
+
+void Node::RemoveTaskFromNode(SlotIndex slot) {
+  if (!SlotLive(slot)) throw std::out_of_range("RemoveTaskFromNode: dead slot");
+  ConfigTaskPair& pair = *slots_[slot];
+  if (pair.idle()) throw std::logic_error("RemoveTaskFromNode: slot is idle");
+  pair.task = TaskId::invalid();
+  --running_tasks_;
+}
+
+const ConfigTaskPair& Node::Slot(SlotIndex slot) const {
+  if (!SlotLive(slot)) throw std::out_of_range("dead slot");
+  return *slots_[slot];
+}
+
+}  // namespace dreamsim::resource

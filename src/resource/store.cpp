@@ -1,0 +1,386 @@
+#include "resource/store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace dreamsim::resource {
+
+ResourceStore::ResourceStore(ConfigCatalogue configs)
+    : configs_(std::move(configs)),
+      idle_lists_(configs_.size()),
+      busy_lists_(configs_.size()) {}
+
+NodeId ResourceStore::AddNode(Area total_area, FamilyId family, Caps caps,
+                              Tick network_delay, bool contiguous,
+                              Placement placement) {
+  const auto id = NodeId{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.emplace_back(id, total_area, family, caps, contiguous, placement);
+  nodes_.back().set_network_delay(network_delay);
+  blank_.push_back(id);
+  return id;
+}
+
+void ResourceStore::InitNodes(const NodeGenParams& params, Rng& rng) {
+  if (params.min_area <= 0 || params.min_area > params.max_area) {
+    throw std::invalid_argument("invalid node area range");
+  }
+  for (int i = 0; i < params.count; ++i) {
+    const Area area = rng.uniform_int(params.min_area, params.max_area);
+    const auto family =
+        FamilyId{static_cast<std::uint32_t>(i % std::max(1, params.family_count))};
+    Caps caps;
+    // Capabilities scale with fabric size: bigger devices carry more BRAM
+    // and DSP slices; the configuration port is family-typical.
+    caps.embedded_memory_kb = area / 2;
+    caps.dsp_slices = area / 25;
+    caps.config_bandwidth = 400;
+    const Tick delay =
+        rng.uniform_int(params.min_network_delay, params.max_network_delay);
+    AddNode(area, family, caps, delay, params.contiguous_placement,
+            params.placement);
+  }
+}
+
+Node& ResourceStore::node(NodeId id) {
+  if (!id.valid() || id.value() >= nodes_.size()) {
+    throw std::out_of_range("unknown NodeId");
+  }
+  return nodes_[id.value()];
+}
+
+const Node& ResourceStore::node(NodeId id) const {
+  return const_cast<ResourceStore*>(this)->node(id);
+}
+
+const EntryList& ResourceStore::idle_list(ConfigId config) const {
+  if (!configs_.Contains(config)) throw std::out_of_range("unknown ConfigId");
+  return idle_lists_[config.value()];
+}
+
+const EntryList& ResourceStore::busy_list(ConfigId config) const {
+  if (!configs_.Contains(config)) throw std::out_of_range("unknown ConfigId");
+  return busy_lists_[config.value()];
+}
+
+EntryList& ResourceStore::idle_list_mut(ConfigId config) {
+  if (!configs_.Contains(config)) throw std::out_of_range("unknown ConfigId");
+  return idle_lists_[config.value()];
+}
+
+EntryList& ResourceStore::busy_list_mut(ConfigId config) {
+  if (!configs_.Contains(config)) throw std::out_of_range("unknown ConfigId");
+  return busy_lists_[config.value()];
+}
+
+std::optional<EntryRef> ResourceStore::FindBestIdleEntry(ConfigId config) {
+  return idle_list(config).FindMin(
+      [this](EntryRef e) {
+        return static_cast<long long>(node(e.node).available_area());
+      },
+      [](EntryRef) { return true; }, meter_, StepKind::kSchedulingSearch);
+}
+
+namespace {
+
+/// Family compatibility: a valid required family must match the node's.
+bool FamilyOk(FamilyId required, const Node& n) {
+  return !required.valid() || required == n.family();
+}
+
+}  // namespace
+
+std::optional<NodeId> ResourceStore::FindBestBlankNode(Area needed_area,
+                                                       FamilyId family) {
+  std::optional<NodeId> best;
+  Area best_area = 0;
+  for (const NodeId id : blank_) {
+    meter_.Add(StepKind::kSchedulingSearch);
+    const Node& n = node(id);
+    if (!FamilyOk(family, n)) continue;
+    if (n.total_area() < needed_area) continue;
+    if (!best || n.total_area() < best_area) {
+      best = id;
+      best_area = n.total_area();
+    }
+  }
+  return best;
+}
+
+std::optional<NodeId> ResourceStore::FindBestPartiallyBlankNode(
+    Area needed_area, FamilyId family) {
+  std::optional<NodeId> best;
+  Area best_area = 0;
+  for (const Node& n : nodes_) {
+    meter_.Add(StepKind::kSchedulingSearch);
+    if (!FamilyOk(family, n)) continue;
+    if (n.blank()) continue;
+    if (!n.CanHost(needed_area)) continue;
+    if (!best || n.available_area() < best_area) {
+      best = n.id();
+      best_area = n.available_area();
+    }
+  }
+  return best;
+}
+
+std::optional<ReconfigPlan> ResourceStore::FindAnyIdleNode(Area needed_area,
+                                                           FamilyId family) {
+  // Algorithm 1: walk the node list; on each node accumulate AvailableArea
+  // plus the areas of idle entries (in slot order) until the target fits.
+  for (const Node& n : nodes_) {
+    Area accumulated = n.available_area();
+    meter_.Add(StepKind::kSchedulingSearch);
+    if (!FamilyOk(family, n)) continue;
+    if (n.CanHost(needed_area)) {
+      // Spare fabric alone suffices; nothing needs reclaiming.
+      return ReconfigPlan{n.id(), {}};
+    }
+    std::vector<SlotIndex> removable;
+    std::optional<ReconfigPlan> plan;
+    n.ForEachSlot([&](SlotIndex slot, const ConfigTaskPair& pair) {
+      meter_.Add(StepKind::kSchedulingSearch);
+      if (plan || !pair.idle()) return;
+      accumulated += configs_.Get(pair.config).required_area;
+      removable.push_back(slot);
+      if (accumulated < needed_area) return;
+      // Under contiguous placement the scalar sum is necessary but not
+      // sufficient: the freed extents must also form a big-enough hole.
+      if (n.contiguous() && !n.CanHostAfterReclaiming(removable, needed_area)) {
+        return;
+      }
+      plan = ReconfigPlan{n.id(), removable};
+    });
+    if (plan) return plan;
+  }
+  return std::nullopt;
+}
+
+bool ResourceStore::AnyBusyNodeCouldFit(Area needed_area, FamilyId family) {
+  for (const Node& n : nodes_) {
+    meter_.Add(StepKind::kSchedulingSearch);
+    if (!FamilyOk(family, n)) continue;
+    if (n.busy() && n.total_area() >= needed_area) return true;
+  }
+  return false;
+}
+
+void ResourceStore::RemoveFromBlank(NodeId node_id) {
+  for (std::size_t i = 0; i < blank_.size(); ++i) {
+    meter_.Add(StepKind::kHousekeeping);
+    if (blank_[i] == node_id) {
+      blank_[i] = blank_.back();
+      blank_.pop_back();
+      return;
+    }
+  }
+  throw std::logic_error("node missing from blank list");
+}
+
+EntryRef ResourceStore::Configure(NodeId node_id, ConfigId config) {
+  const Configuration& c = configs_.Get(config);
+  Node& n = node(node_id);
+  if (!c.CompatibleWith(n.family())) {
+    throw std::logic_error(
+        "Configure: bitstream family incompatible with the node");
+  }
+  const bool was_blank = n.blank();
+  const SlotIndex slot = n.SendBitstream(c);
+  if (was_blank) RemoveFromBlank(node_id);
+  const EntryRef entry{node_id, slot};
+  idle_list_mut(config).Add(entry, meter_);
+  return entry;
+}
+
+void ResourceStore::ReclaimSlot(EntryRef entry) {
+  Node& n = node(entry.node);
+  const ConfigTaskPair& pair = n.Slot(entry.slot);
+  if (!pair.idle()) throw std::logic_error("ReclaimSlot: entry is busy");
+  if (!idle_list_mut(pair.config).Remove(entry, meter_)) {
+    throw std::logic_error("ReclaimSlot: entry missing from idle list");
+  }
+  const Area area = configs_.Get(pair.config).required_area;
+  n.MakeNodePartiallyBlank(entry.slot, area);
+  if (n.blank()) {
+    meter_.Add(StepKind::kHousekeeping);
+    blank_.push_back(entry.node);
+  }
+}
+
+void ResourceStore::BlankNode(NodeId node_id) {
+  Node& n = node(node_id);
+  if (n.busy()) throw std::logic_error("BlankNode: node has running tasks");
+  if (n.blank()) return;
+  n.ForEachSlot([&](SlotIndex slot, const ConfigTaskPair& pair) {
+    if (!idle_list_mut(pair.config).Remove(EntryRef{node_id, slot}, meter_)) {
+      throw std::logic_error("BlankNode: entry missing from idle list");
+    }
+  });
+  n.MakeNodeBlank();
+  meter_.Add(StepKind::kHousekeeping);
+  blank_.push_back(node_id);
+}
+
+void ResourceStore::AssignTask(EntryRef entry, TaskId task) {
+  Node& n = node(entry.node);
+  const ConfigId config = n.Slot(entry.slot).config;
+  if (!idle_list_mut(config).Remove(entry, meter_)) {
+    throw std::logic_error("AssignTask: entry missing from idle list");
+  }
+  n.AddTaskToNode(entry.slot, task);
+  busy_list_mut(config).Add(entry, meter_);
+}
+
+TaskId ResourceStore::ReleaseTask(EntryRef entry) {
+  Node& n = node(entry.node);
+  const ConfigTaskPair& pair = n.Slot(entry.slot);
+  const ConfigId config = pair.config;
+  const TaskId task = pair.task;
+  if (!busy_list_mut(config).Remove(entry, meter_)) {
+    throw std::logic_error("ReleaseTask: entry missing from busy list");
+  }
+  n.RemoveTaskFromNode(entry.slot);
+  idle_list_mut(config).Add(entry, meter_);
+  return task;
+}
+
+Area ResourceStore::TotalWastedArea() const {
+  Area total = 0;
+  for (const Node& n : nodes_) {
+    if (!n.blank()) total += n.available_area();
+  }
+  return total;
+}
+
+Area ResourceStore::TotalIdleWastedArea() const {
+  Area total = 0;
+  for (const Node& n : nodes_) {
+    if (!n.blank() && !n.busy()) total += n.available_area();
+  }
+  return total;
+}
+
+std::uint64_t ResourceStore::TotalReconfigurations() const {
+  std::uint64_t total = 0;
+  for (const Node& n : nodes_) total += n.reconfig_count();
+  return total;
+}
+
+ResourceStore::FragmentationStats ResourceStore::Fragmentation() const {
+  FragmentationStats stats;
+  if (nodes_.empty()) return stats;
+  double sum = 0.0;
+  for (const Node& n : nodes_) {
+    const double f = n.Fragmentation();
+    sum += f;
+    stats.max = std::max(stats.max, f);
+  }
+  stats.mean = sum / static_cast<double>(nodes_.size());
+  return stats;
+}
+
+std::size_t ResourceStore::UsedNodeCount() const {
+  std::size_t used = 0;
+  for (const Node& n : nodes_) {
+    if (n.reconfig_count() > 0) ++used;
+  }
+  return used;
+}
+
+std::vector<std::string> ResourceStore::ValidateConsistency() const {
+  std::vector<std::string> violations;
+  WorkloadMeter scratch;  // membership checks below must not skew metrics
+
+  // Per-node area accounting (Eq. 4) and list membership per slot.
+  for (const Node& n : nodes_) {
+    Area occupied = 0;
+    n.ForEachSlot([&](SlotIndex slot, const ConfigTaskPair& pair) {
+      occupied += configs_.Get(pair.config).required_area;
+      const EntryRef entry{n.id(), slot};
+      const bool in_idle =
+          idle_list(pair.config).Contains(entry, scratch,
+                                          StepKind::kHousekeeping);
+      const bool in_busy =
+          busy_list(pair.config).Contains(entry, scratch,
+                                          StepKind::kHousekeeping);
+      if (pair.idle() && (!in_idle || in_busy)) {
+        violations.push_back(Format(
+            "node {} slot {}: idle entry not exactly in idle list",
+            n.id().value(), slot));
+      }
+      if (!pair.idle() && (in_idle || !in_busy)) {
+        violations.push_back(Format(
+            "node {} slot {}: busy entry not exactly in busy list",
+            n.id().value(), slot));
+      }
+    });
+    if (n.available_area() != n.total_area() - occupied) {
+      violations.push_back(Format(
+          "node {}: Eq.4 violated (total={}, occupied={}, available={})",
+          n.id().value(), n.total_area(), occupied, n.available_area()));
+    }
+    if (n.contiguous()) {
+      // The fabric layout must agree with the scalar accounting, its free
+      // list must be structurally sound, and each live slot's extent must
+      // match its configuration's area.
+      for (const std::string& v : n.layout().Validate()) {
+        violations.push_back(
+            Format("node {} layout: {}", n.id().value(), v));
+      }
+      if (n.layout().free_area() != n.available_area()) {
+        violations.push_back(Format(
+            "node {}: layout free area {} != available area {}",
+            n.id().value(), n.layout().free_area(), n.available_area()));
+      }
+      n.ForEachSlot([&](SlotIndex slot, const ConfigTaskPair& pair) {
+        if (n.SlotExtent(slot).size !=
+            configs_.Get(pair.config).required_area) {
+          violations.push_back(Format(
+              "node {} slot {}: extent size != configuration area",
+              n.id().value(), slot));
+        }
+      });
+    }
+    if (n.available_area() < 0) {
+      violations.push_back(
+          Format("node {}: negative available area", n.id().value()));
+    }
+    const bool in_blank = [&] {
+      for (const NodeId id : blank_) {
+        if (id == n.id()) return true;
+      }
+      return false;
+    }();
+    if (n.blank() != in_blank) {
+      violations.push_back(Format(
+          "node {}: blank()={} but blank-list membership={}", n.id().value(),
+          n.blank(), in_blank));
+    }
+  }
+
+  // Every list cell must reference a live slot in the matching state.
+  for (std::size_t cid = 0; cid < idle_lists_.size(); ++cid) {
+    for (const EntryRef& e : idle_lists_[cid].cells()) {
+      const Node& n = node(e.node);
+      if (!n.SlotLive(e.slot) || !n.Slot(e.slot).idle() ||
+          n.Slot(e.slot).config.value() != cid) {
+        violations.push_back(Format(
+            "idle list {}: stale cell (node {}, slot {})", cid,
+            e.node.value(), e.slot));
+      }
+    }
+    for (const EntryRef& e : busy_lists_[cid].cells()) {
+      const Node& n = node(e.node);
+      if (!n.SlotLive(e.slot) || n.Slot(e.slot).idle() ||
+          n.Slot(e.slot).config.value() != cid) {
+        violations.push_back(Format(
+            "busy list {}: stale cell (node {}, slot {})", cid,
+            e.node.value(), e.slot));
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace dreamsim::resource

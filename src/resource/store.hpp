@@ -1,0 +1,165 @@
+// ResourceStore: the resource information manager's dynamic data structures
+// (Sec. IV-B, Fig. 3) behind one consistent interface.
+//
+// It owns the nodes, the configuration catalogue, the per-configuration
+// idle/busy lists, the blank-node list, and the workload meter. Every query
+// the scheduler runs is a counted traversal; every mutation keeps the lists
+// consistent with the node slot states (the invariant the property tests
+// check via ValidateConsistency()).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "resource/config.hpp"
+#include "resource/entry_list.hpp"
+#include "resource/node.hpp"
+#include "resource/workload_meter.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dreamsim::resource {
+
+/// Result of Algorithm 1 (FindAnyIdleNode): a reconfigurable node plus the
+/// idle entries whose removal frees enough area for the new configuration.
+struct ReconfigPlan {
+  NodeId node;
+  std::vector<SlotIndex> removable_entries;
+};
+
+/// Owning store of nodes + configurations + membership lists.
+class ResourceStore {
+ public:
+  explicit ResourceStore(ConfigCatalogue configs);
+
+  // --- Construction of the node population ---
+
+  /// Adds one node; returns its id. `contiguous` enables the
+  /// fabric-placement extension on this node.
+  NodeId AddNode(Area total_area, FamilyId family = FamilyId{0},
+                 Caps caps = {}, Tick network_delay = 0,
+                 bool contiguous = false,
+                 Placement placement = Placement::kFirstFit);
+
+  /// InitNodes(): generates `params.count` nodes with uniformly distributed
+  /// TotalArea in [min_area, max_area] (Table II), families assigned
+  /// round-robin, caps scaled with area.
+  void InitNodes(const NodeGenParams& params, Rng& rng);
+
+  // --- Accessors ---
+
+  [[nodiscard]] const ConfigCatalogue& configs() const { return configs_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] WorkloadMeter& meter() { return meter_; }
+  [[nodiscard]] const WorkloadMeter& meter() const { return meter_; }
+
+  [[nodiscard]] const EntryList& idle_list(ConfigId config) const;
+  [[nodiscard]] const EntryList& busy_list(ConfigId config) const;
+  [[nodiscard]] std::size_t blank_node_count() const { return blank_.size(); }
+
+  // --- Counted scheduler queries (StepKind::kSchedulingSearch) ---
+
+  /// FindBestNode(): among idle entries configured with `config`, the one
+  /// on the node with minimum AvailableArea ("so that the nodes with larger
+  /// AvailableArea are utilized for later re-configurations").
+  [[nodiscard]] std::optional<EntryRef> FindBestIdleEntry(ConfigId config);
+
+  /// Best blank node for a configuration of `needed_area`: minimum
+  /// TotalArea among blank nodes that fit it. A valid `family` restricts
+  /// candidates to that device family (bitstream compatibility, Eq. 1/2);
+  /// invalid means unconstrained (the paper's single-family evaluation).
+  [[nodiscard]] std::optional<NodeId> FindBestBlankNode(
+      Area needed_area, FamilyId family = FamilyId::invalid());
+
+  /// FindBestPartiallyBlankNode(): non-blank node with AvailableArea >=
+  /// needed_area, minimizing AvailableArea (tightest fit). Family filter
+  /// as in FindBestBlankNode().
+  [[nodiscard]] std::optional<NodeId> FindBestPartiallyBlankNode(
+      Area needed_area, FamilyId family = FamilyId::invalid());
+
+  /// FindAnyIdleNode() — Algorithm 1: a node whose AvailableArea plus the
+  /// areas of its idle entries reaches `needed_area`; reports which idle
+  /// entries to reclaim. The entry list is the minimal prefix (in slot
+  /// order) that reaches the target, as in the paper's pseudo-code.
+  /// Family filter as in FindBestBlankNode().
+  [[nodiscard]] std::optional<ReconfigPlan> FindAnyIdleNode(
+      Area needed_area, FamilyId family = FamilyId::invalid());
+
+  /// True when some currently busy node could *eventually* host a
+  /// configuration of `needed_area` (TotalArea large enough) — the paper's
+  /// "query busy list for potential candidate" before suspending.
+  /// Family filter as in FindBestBlankNode().
+  [[nodiscard]] bool AnyBusyNodeCouldFit(
+      Area needed_area, FamilyId family = FamilyId::invalid());
+
+  // --- Mutations (housekeeping steps) ---
+
+  /// SendBitstream() + list maintenance: configures `config` onto `node_id`
+  /// and registers the fresh idle entry. Throws if the area does not fit.
+  EntryRef Configure(NodeId node_id, ConfigId config);
+
+  /// MakeNodePartiallyBlank() + list maintenance: removes one idle entry
+  /// and reclaims its area.
+  void ReclaimSlot(EntryRef entry);
+
+  /// MakeNodeBlank() + list maintenance: removes every (idle) entry of the
+  /// node. Throws if any entry is busy.
+  void BlankNode(NodeId node_id);
+
+  /// AddTaskToNode() + list maintenance: idle entry -> busy entry.
+  void AssignTask(EntryRef entry, TaskId task);
+
+  /// RemoveTaskFromNode() + list maintenance: busy entry -> idle entry.
+  /// Returns the task that was running there.
+  TaskId ReleaseTask(EntryRef entry);
+
+  // --- Metrics support ---
+
+  /// Eq. 6: sum of AvailableArea over nodes holding >= 1 configuration.
+  /// Not charged to the workload meter (it is metric bookkeeping, not
+  /// scheduler effort).
+  [[nodiscard]] Area TotalWastedArea() const;
+
+  /// Variant of Eq. 6 restricted to configured nodes that are currently
+  /// idle (no running task) — area that is provably going to waste right
+  /// now. Backs WasteAccounting::kIdleConfigured.
+  [[nodiscard]] Area TotalIdleWastedArea() const;
+
+  /// Sum of reconfig_count over all nodes.
+  [[nodiscard]] std::uint64_t TotalReconfigurations() const;
+
+  /// Mean and max external fragmentation across nodes (0 under the scalar
+  /// model). Meaningful with NodeGenParams::contiguous_placement.
+  struct FragmentationStats {
+    double mean = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] FragmentationStats Fragmentation() const;
+
+  /// Number of nodes that performed at least one reconfiguration
+  /// (Table I "total used nodes").
+  [[nodiscard]] std::size_t UsedNodeCount() const;
+
+  /// Checks every structural invariant (Eq. 4 per node; each live slot in
+  /// exactly the matching idle/busy list; blank list exact). Returns a
+  /// human-readable description per violation; empty means consistent.
+  [[nodiscard]] std::vector<std::string> ValidateConsistency() const;
+
+ private:
+  [[nodiscard]] EntryList& idle_list_mut(ConfigId config);
+  [[nodiscard]] EntryList& busy_list_mut(ConfigId config);
+  void RemoveFromBlank(NodeId node_id);
+
+  ConfigCatalogue configs_;
+  std::vector<Node> nodes_;
+  std::vector<EntryList> idle_lists_;   // indexed by ConfigId::value()
+  std::vector<EntryList> busy_lists_;   // indexed by ConfigId::value()
+  std::vector<NodeId> blank_;           // nodes with zero configurations
+  WorkloadMeter meter_;
+};
+
+}  // namespace dreamsim::resource

@@ -1,0 +1,36 @@
+#include "resource/suspension_queue.hpp"
+
+namespace dreamsim::resource {
+
+bool SuspensionQueue::Add(TaskId task, WorkloadMeter& meter) {
+  meter.Add(StepKind::kHousekeeping);
+  if (capacity_ != 0 && queue_.size() >= capacity_) return false;
+  queue_.push_back(task);
+  return true;
+}
+
+bool SuspensionQueue::Contains(TaskId task, WorkloadMeter& meter) const {
+  for (const TaskId t : queue_) {
+    meter.Add(StepKind::kHousekeeping);
+    if (t == task) return true;
+  }
+  return false;
+}
+
+void SuspensionQueue::RemoveAt(std::size_t index, WorkloadMeter& meter) {
+  meter.Add(StepKind::kHousekeeping);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+bool SuspensionQueue::Remove(TaskId task, WorkloadMeter& meter) {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    meter.Add(StepKind::kHousekeeping);
+    if (queue_[i] == task) {
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dreamsim::resource

@@ -1,0 +1,67 @@
+// Suspension queue (the SusList of the UML model).
+//
+// Tasks that cannot be placed now — but for which a currently busy node with
+// sufficient TotalArea exists — wait here; "each time a node finishes
+// executing a task, the suspension queue is checked ... to determine if a
+// suitable task is waiting in the queue which can be executed".
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "resource/workload_meter.hpp"
+#include "util/types.hpp"
+
+namespace dreamsim::resource {
+
+/// FIFO of suspended tasks with counted traversals. An optional capacity
+/// bound lets failure-injection tests exercise overflow handling.
+class SuspensionQueue {
+ public:
+  /// `capacity` of 0 means unbounded.
+  explicit SuspensionQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// AddTaskToSusQueue(): appends the task. Returns false when the queue is
+  /// at capacity (caller then discards the task).
+  [[nodiscard]] bool Add(TaskId task, WorkloadMeter& meter);
+
+  /// RemoveTaskFromSusQueue(): removes and returns the first (oldest) task
+  /// satisfying `pred`; counted scan in FIFO order.
+  template <typename Pred>
+  [[nodiscard]] std::optional<TaskId> PopFirstMatching(Pred&& pred,
+                                                       WorkloadMeter& meter) {
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      meter.Add(StepKind::kHousekeeping);
+      if (pred(queue_[i])) {
+        const TaskId task = queue_[i];
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        return task;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// SearchSusQueue(): counted membership test.
+  [[nodiscard]] bool Contains(TaskId task, WorkloadMeter& meter) const;
+
+  /// Removes a specific task (e.g. when its retry budget is exhausted).
+  bool Remove(TaskId task, WorkloadMeter& meter);
+
+  /// Removes the task at FIFO position `index` (0 = oldest). Used by
+  /// callers that already paid the traversal to `index`; charges one
+  /// housekeeping step for the unlink itself.
+  void RemoveAt(std::size_t index, WorkloadMeter& meter);
+
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Read-only view in FIFO order (oldest first).
+  [[nodiscard]] const std::deque<TaskId>& tasks() const { return queue_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<TaskId> queue_;
+};
+
+}  // namespace dreamsim::resource

@@ -1,0 +1,50 @@
+#include "resource/task.hpp"
+
+#include <stdexcept>
+
+namespace dreamsim::resource {
+
+std::string_view ToString(TaskState state) {
+  switch (state) {
+    case TaskState::kCreated: return "created";
+    case TaskState::kSuspended: return "suspended";
+    case TaskState::kRunning: return "running";
+    case TaskState::kCompleted: return "completed";
+    case TaskState::kDiscarded: return "discarded";
+  }
+  return "?";
+}
+
+TaskId TaskStore::Create(Task task) {
+  const auto id = TaskId{static_cast<std::uint32_t>(tasks_.size())};
+  task.id = id;
+  if (task.required_time <= 0) {
+    throw std::invalid_argument("task required_time must be positive");
+  }
+  if (task.needed_area <= 0) {
+    throw std::invalid_argument("task needed_area must be positive");
+  }
+  tasks_.push_back(task);
+  return id;
+}
+
+Task& TaskStore::Get(TaskId id) {
+  if (!id.valid() || id.value() >= tasks_.size()) {
+    throw std::out_of_range("unknown TaskId");
+  }
+  return tasks_[id.value()];
+}
+
+const Task& TaskStore::Get(TaskId id) const {
+  return const_cast<TaskStore*>(this)->Get(id);
+}
+
+std::size_t TaskStore::CountInState(TaskState state) const {
+  std::size_t count = 0;
+  for (const Task& t : tasks_) {
+    if (t.state == state) ++count;
+  }
+  return count;
+}
+
+}  // namespace dreamsim::resource

@@ -1,0 +1,71 @@
+// Search-step accounting (Table I).
+//
+// "A search step is a basic unit of exploration to search a memory
+// location." The meter distinguishes the scheduler's per-task search effort
+// (the SL counter behind *average scheduling steps per task*, Fig. 9a) from
+// housekeeping done by the resource information module (idle/busy list and
+// suspension-queue maintenance). *Total scheduler workload* (Fig. 9b) is the
+// sum of both.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace dreamsim::resource {
+
+/// Kinds of counted step.
+enum class StepKind : std::uint8_t {
+  kSchedulingSearch,  // exploring candidates to place the current task
+  kHousekeeping,      // list/queue maintenance by the resource info module
+};
+
+/// Accumulates search steps for the metrics system. One meter per
+/// simulation; every counted traversal receives a reference to it.
+class WorkloadMeter {
+ public:
+  /// Resets the per-task scheduling counter (call at the start of each
+  /// scheduling attempt).
+  void BeginTask() { current_task_steps_ = 0; }
+
+  void Add(StepKind kind, Steps count = 1) {
+    total_workload_ += count;
+    if (kind == StepKind::kSchedulingSearch) {
+      current_task_steps_ += count;
+      scheduling_steps_ += count;
+    } else {
+      housekeeping_steps_ += count;
+    }
+  }
+
+  /// Steps charged to the task currently being scheduled (SL).
+  [[nodiscard]] Steps current_task_steps() const { return current_task_steps_; }
+
+  /// All scheduling-search steps across the run.
+  [[nodiscard]] Steps scheduling_steps_total() const {
+    return scheduling_steps_;
+  }
+
+  /// All housekeeping steps across the run.
+  [[nodiscard]] Steps housekeeping_steps_total() const {
+    return housekeeping_steps_;
+  }
+
+  /// Total scheduler workload: scheduling + housekeeping (Fig. 9b).
+  [[nodiscard]] Steps total_workload() const { return total_workload_; }
+
+  void Reset() {
+    current_task_steps_ = 0;
+    scheduling_steps_ = 0;
+    housekeeping_steps_ = 0;
+    total_workload_ = 0;
+  }
+
+ private:
+  Steps current_task_steps_ = 0;
+  Steps scheduling_steps_ = 0;
+  Steps housekeeping_steps_ = 0;
+  Steps total_workload_ = 0;
+};
+
+}  // namespace dreamsim::resource

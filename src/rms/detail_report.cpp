@@ -1,0 +1,51 @@
+#include "rms/detail_report.hpp"
+
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/fmt.hpp"
+
+namespace dreamsim::rms {
+
+void WriteNodeCsv(std::ostream& out, const resource::ResourceStore& store) {
+  CsvWriter csv(out, {"node", "family", "total_area", "available_area",
+                      "config_count", "reconfig_count", "network_delay",
+                      "contiguous", "fragmentation"});
+  for (const resource::Node& n : store.nodes()) {
+    csv.BeginRow();
+    csv.Field(static_cast<std::uint64_t>(n.id().value()));
+    csv.Field(static_cast<std::uint64_t>(n.family().value()));
+    csv.Field(static_cast<std::int64_t>(n.total_area()));
+    csv.Field(static_cast<std::int64_t>(n.available_area()));
+    csv.Field(static_cast<std::uint64_t>(n.config_count()));
+    csv.Field(n.reconfig_count());
+    csv.Field(static_cast<std::int64_t>(n.network_delay()));
+    csv.Field(n.contiguous() ? "1" : "0");
+    csv.Field(n.Fragmentation());
+    csv.EndRow();
+  }
+}
+
+void WriteConfigCsv(std::ostream& out, const resource::ResourceStore& store,
+                    std::span<const std::uint64_t> placements_per_config) {
+  CsvWriter csv(out, {"config", "family", "required_area", "config_time",
+                      "bitstream_size", "placements"});
+  for (const resource::Configuration& c : store.configs().all()) {
+    csv.BeginRow();
+    csv.Field(static_cast<std::uint64_t>(c.id.value()));
+    csv.Field(c.family.valid()
+                  ? Format("{}", c.family.value())
+                  : std::string("universal"));
+    csv.Field(static_cast<std::int64_t>(c.required_area));
+    csv.Field(static_cast<std::int64_t>(c.config_time));
+    csv.Field(static_cast<std::int64_t>(c.bitstream_size));
+    const std::uint64_t placements =
+        c.id.value() < placements_per_config.size()
+            ? placements_per_config[c.id.value()]
+            : 0;
+    csv.Field(placements);
+    csv.EndRow();
+  }
+}
+
+}  // namespace dreamsim::rms

@@ -1,0 +1,26 @@
+// Per-node and per-configuration detail reports (monitoring-module
+// companions to the aggregate Table I report): one CSV row per node or per
+// configuration, for post-run analysis of utilization skew, family load,
+// and configuration popularity.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "resource/store.hpp"
+
+namespace dreamsim::rms {
+
+/// Writes one CSV row per node:
+///   node,family,total_area,available_area,config_count,reconfig_count,
+///   network_delay,contiguous,fragmentation
+void WriteNodeCsv(std::ostream& out, const resource::ResourceStore& store);
+
+/// Writes one CSV row per configuration:
+///   config,family,required_area,config_time,bitstream_size,placements
+/// `placements_per_config` is indexed by ConfigId (shorter spans read as
+/// zero; e.g. from MetricsReport::placements_per_config).
+void WriteConfigCsv(std::ostream& out, const resource::ResourceStore& store,
+                    std::span<const std::uint64_t> placements_per_config);
+
+}  // namespace dreamsim::rms

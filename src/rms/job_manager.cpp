@@ -1,0 +1,32 @@
+#include "rms/job_manager.hpp"
+
+#include <stdexcept>
+
+namespace dreamsim::rms {
+
+TaskId JobSubmissionManager::SubmitOne(const workload::GeneratedTask& gen,
+                                       Tick at, ArrivalHandler handler) {
+  resource::Task task;
+  task.preferred_config = gen.preferred_config;
+  task.needed_area = gen.needed_area;
+  task.required_time = gen.required_time;
+  task.data_size = gen.data_size;
+  task.priority = gen.priority;
+  task.create_time = at;
+  const TaskId id = tasks_.Create(task);
+  kernel_.ScheduleAt(at, sim::EventPriority::kArrival,
+                     [handler = std::move(handler), id] { handler(id); });
+  ++submitted_;
+  return id;
+}
+
+std::size_t JobSubmissionManager::Submit(const workload::Workload& workload,
+                                         ArrivalHandler handler) {
+  if (!handler) throw std::invalid_argument("null arrival handler");
+  for (const workload::GeneratedTask& gen : workload) {
+    (void)SubmitOne(gen, gen.create_time, handler);
+  }
+  return workload.size();
+}
+
+}  // namespace dreamsim::rms

@@ -1,0 +1,45 @@
+// Job submission manager (information subsystem, Sec. III).
+//
+// "The job submission manager simulates the task arrivals corresponding to
+// a user-defined task arrival rate and distribution function." It converts
+// a materialized Workload (synthetic or trace) into TaskStore entries and
+// kernel arrival events, invoking the RMS-supplied handler for each arrival.
+#pragma once
+
+#include <functional>
+
+#include "resource/task.hpp"
+#include "sim/kernel.hpp"
+#include "workload/generator.hpp"
+
+namespace dreamsim::rms {
+
+/// Feeds a workload into the simulation.
+class JobSubmissionManager {
+ public:
+  /// Called at each task's create_time, after the Task exists in the store
+  /// with state kCreated and create_time set.
+  using ArrivalHandler = std::function<void(TaskId)>;
+
+  JobSubmissionManager(sim::Kernel& kernel, resource::TaskStore& tasks)
+      : kernel_(kernel), tasks_(tasks) {}
+
+  /// Registers every workload entry as a future arrival. The handler is
+  /// invoked from kernel events in create_time order (ties in submission
+  /// order). Returns the number of arrivals scheduled.
+  std::size_t Submit(const workload::Workload& workload,
+                     ArrivalHandler handler);
+
+  /// Submits one task to arrive at `at` (>= kernel.now()).
+  TaskId SubmitOne(const workload::GeneratedTask& task, Tick at,
+                   ArrivalHandler handler);
+
+  [[nodiscard]] std::size_t submitted() const { return submitted_; }
+
+ private:
+  sim::Kernel& kernel_;
+  resource::TaskStore& tasks_;
+  std::size_t submitted_ = 0;
+};
+
+}  // namespace dreamsim::rms

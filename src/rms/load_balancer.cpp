@@ -1,0 +1,53 @@
+#include "rms/load_balancer.hpp"
+
+#include <cmath>
+
+namespace dreamsim::rms {
+
+LoadMetrics LoadBalancer::Measure() const {
+  LoadMetrics m;
+  const std::size_t n = store_.node_count();
+  if (n == 0) return m;
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const resource::Node& node : store_.nodes()) {
+    const auto load = static_cast<double>(node.running_tasks());
+    sum += load;
+    sum_sq += load * load;
+  }
+  const auto count = static_cast<double>(n);
+  m.mean_running_tasks = sum / count;
+  const double variance =
+      sum_sq / count - m.mean_running_tasks * m.mean_running_tasks;
+  m.stddev_running_tasks = std::sqrt(std::max(0.0, variance));
+  m.imbalance = m.mean_running_tasks > 0.0
+                    ? m.stddev_running_tasks / m.mean_running_tasks
+                    : 0.0;
+  m.fairness = sum_sq > 0.0 ? (sum * sum) / (count * sum_sq) : 1.0;
+  return m;
+}
+
+std::optional<NodeId> LoadBalancer::PickLeastLoaded(
+    std::span<const NodeId> candidates) const {
+  std::optional<NodeId> best;
+  std::size_t best_load = 0;
+  Area best_available = 0;
+  for (const NodeId id : candidates) {
+    const resource::Node& n = store_.node(id);
+    const std::size_t load = n.running_tasks();
+    const Area available = n.available_area();
+    const bool better =
+        !best || load < best_load ||
+        (load == best_load && available > best_available) ||
+        (load == best_load && available == best_available && id < *best);
+    if (better) {
+      best = id;
+      best_load = load;
+      best_available = available;
+    }
+  }
+  return best;
+}
+
+}  // namespace dreamsim::rms

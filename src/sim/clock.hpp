@@ -1,0 +1,43 @@
+// Simulated clock in integer ticks.
+//
+// The paper's DreamSim class exposes IncreaseTimeTick()/DecreaseTimeTick();
+// we keep those for API parity while the kernel normally advances the clock
+// directly to the next event ("total simulation time = total number of
+// timeticks", Eq. 5).
+#pragma once
+
+#include <cassert>
+
+#include "util/types.hpp"
+
+namespace dreamsim::sim {
+
+/// Monotonic (except for explicit rewind) tick counter.
+class Clock {
+ public:
+  [[nodiscard]] Tick now() const { return now_; }
+
+  /// Advances one tick (paper API parity).
+  void IncreaseTimeTick() { ++now_; }
+
+  /// Rewinds one tick. Exists because the paper's UML lists it; the kernel
+  /// never calls it during forward simulation.
+  void DecreaseTimeTick() {
+    assert(now_ > 0);
+    --now_;
+  }
+
+  /// Jumps forward to `tick`. Precondition: tick >= now().
+  void AdvanceTo(Tick tick) {
+    assert(tick >= now_);
+    now_ = tick;
+  }
+
+  /// Resets to tick zero (reuse across simulation runs).
+  void Reset() { now_ = 0; }
+
+ private:
+  Tick now_ = 0;
+};
+
+}  // namespace dreamsim::sim

@@ -1,0 +1,42 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace dreamsim::sim {
+
+EventHandle EventQueue::Push(Tick tick, EventPriority priority, Action action) {
+  const std::uint64_t seq = next_sequence_++;
+  heap_.push(Entry{tick, priority, seq});
+  actions_.emplace(seq, std::move(action));
+  return EventHandle{seq};
+}
+
+bool EventQueue::Cancel(EventHandle handle) {
+  return actions_.erase(handle.sequence) > 0;
+}
+
+void EventQueue::DropDead() {
+  while (!heap_.empty() && !actions_.contains(heap_.top().sequence)) {
+    heap_.pop();
+  }
+}
+
+Tick EventQueue::next_tick() {
+  DropDead();
+  assert(!heap_.empty());
+  return heap_.top().tick;
+}
+
+EventQueue::Popped EventQueue::Pop() {
+  DropDead();
+  assert(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(top.sequence);
+  assert(it != actions_.end());
+  Popped popped{top.tick, top.priority, top.sequence, std::move(it->second)};
+  actions_.erase(it);
+  return popped;
+}
+
+}  // namespace dreamsim::sim

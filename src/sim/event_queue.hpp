@@ -1,0 +1,91 @@
+// Deterministic pending-event set for the simulation kernel.
+//
+// Ordering is (tick, priority, sequence): sequence is a monotonically
+// increasing insertion counter, so ties are broken by scheduling order and a
+// (seed, configuration) pair fully determines a run. Supports O(log n) push
+// and pop and O(log n) lazy cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dreamsim::sim {
+
+/// Coarse event classes; lower value runs first within a tick. Completions
+/// precede arrivals so a node freed at tick T can serve a task arriving at T.
+enum class EventPriority : std::uint8_t {
+  kCompletion = 0,
+  kControl = 1,
+  kArrival = 2,
+  kHousekeeping = 3,
+};
+
+/// Identifies a scheduled event for cancellation.
+struct EventHandle {
+  std::uint64_t sequence = 0;
+  [[nodiscard]] constexpr bool valid() const { return sequence != 0; }
+};
+
+/// Priority queue of (tick, priority, sequence, action) with lazy delete:
+/// cancelled entries stay in the heap but their actions are dropped from the
+/// side table, so they are skipped (and freed) when reached.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Enqueues an action at `tick`; returns a handle usable with Cancel().
+  EventHandle Push(Tick tick, EventPriority priority, Action action);
+
+  /// Marks an event as cancelled; it is skipped when reached.
+  /// Returns false if the handle was already executed/cancelled/unknown.
+  bool Cancel(EventHandle handle);
+
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() const { return actions_.empty(); }
+
+  /// Number of live (not cancelled, not executed) events.
+  [[nodiscard]] std::size_t size() const { return actions_.size(); }
+
+  /// Tick of the earliest live event. Precondition: !empty().
+  [[nodiscard]] Tick next_tick();
+
+  /// Removes and returns the earliest live event. Precondition: !empty().
+  struct Popped {
+    Tick tick;
+    EventPriority priority;
+    std::uint64_t sequence;
+    Action action;
+  };
+  [[nodiscard]] Popped Pop();
+
+  /// Total events ever pushed (diagnostics).
+  [[nodiscard]] std::uint64_t pushed_total() const { return next_sequence_ - 1; }
+
+ private:
+  struct Entry {
+    Tick tick;
+    EventPriority priority;
+    std::uint64_t sequence;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.tick != b.tick) return a.tick > b.tick;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  /// Pops cancelled entries off the heap top.
+  void DropDead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<std::uint64_t, Action> actions_;
+  std::uint64_t next_sequence_ = 1;
+};
+
+}  // namespace dreamsim::sim

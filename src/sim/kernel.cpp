@@ -1,0 +1,49 @@
+#include "sim/kernel.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dreamsim::sim {
+
+EventHandle Kernel::ScheduleAfter(Tick delay, EventPriority priority,
+                                  Action action) {
+  if (delay < 0) throw std::invalid_argument("negative event delay");
+  return queue_.Push(clock_.now() + delay, priority, std::move(action));
+}
+
+EventHandle Kernel::ScheduleAt(Tick at, EventPriority priority, Action action) {
+  if (at < clock_.now()) {
+    throw std::invalid_argument("cannot schedule an event in the past");
+  }
+  return queue_.Push(at, priority, std::move(action));
+}
+
+bool Kernel::Step() {
+  if (queue_.empty()) return false;
+  auto popped = queue_.Pop();
+  clock_.AdvanceTo(popped.tick);
+  ++executed_;
+  popped.action();
+  return true;
+}
+
+std::uint64_t Kernel::Run(Tick horizon) {
+  stop_requested_ = false;
+  std::uint64_t count = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_tick() > horizon) break;
+    if (!Step()) break;
+    ++count;
+  }
+  return count;
+}
+
+void Kernel::Reset() {
+  // EventQueue has no clear(); drain it.
+  while (!queue_.empty()) (void)queue_.Pop();
+  clock_.Reset();
+  executed_ = 0;
+  stop_requested_ = false;
+}
+
+}  // namespace dreamsim::sim

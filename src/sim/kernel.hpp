@@ -1,0 +1,59 @@
+// Discrete-event simulation kernel: owns the clock and the event queue, and
+// runs the event loop. Entities (the RMS, the job submission manager)
+// schedule closures; the kernel advances the clock to each event's tick and
+// executes it. Integer-tick semantics match the paper's timetick model while
+// avoiding per-tick iteration over billion-tick horizons.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "util/types.hpp"
+
+namespace dreamsim::sim {
+
+/// Event-loop driver.
+class Kernel {
+ public:
+  using Action = EventQueue::Action;
+
+  /// Schedules `action` to run `delay` ticks from now (delay >= 0).
+  EventHandle ScheduleAfter(Tick delay, EventPriority priority, Action action);
+
+  /// Schedules `action` at absolute tick `at` (at >= now()).
+  EventHandle ScheduleAt(Tick at, EventPriority priority, Action action);
+
+  /// Cancels a previously scheduled event; false if already run/cancelled.
+  bool Cancel(EventHandle handle) { return queue_.Cancel(handle); }
+
+  /// Runs until the event queue drains or the clock passes `horizon`.
+  /// Returns the number of events executed.
+  std::uint64_t Run(Tick horizon = std::numeric_limits<Tick>::max());
+
+  /// Executes at most one event; returns false when the queue is empty.
+  bool Step();
+
+  /// Requests the Run() loop to stop after the current event.
+  void RequestStop() { stop_requested_ = true; }
+
+  [[nodiscard]] Tick now() const { return clock_.now(); }
+  [[nodiscard]] const Clock& clock() const { return clock_; }
+  [[nodiscard]] Clock& clock() { return clock_; }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+  /// Clears all pending events and rewinds the clock to zero.
+  void Reset();
+
+ private:
+  Clock clock_;
+  EventQueue queue_;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace dreamsim::sim

@@ -1,0 +1,144 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace dreamsim {
+
+std::string CsvEscape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (const char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), columns_(header.size()) {
+  if (columns_ == 0) throw std::invalid_argument("CSV header must be non-empty");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << CsvEscape(header[i]);
+  }
+  out_ << '\n';
+}
+
+CsvWriter& CsvWriter::BeginRow() {
+  if (in_row_) throw std::logic_error("BeginRow called inside an open row");
+  in_row_ = true;
+  fields_in_row_ = 0;
+  return *this;
+}
+
+void CsvWriter::Emit(std::string_view raw) {
+  if (!in_row_) throw std::logic_error("Field written outside a row");
+  if (fields_in_row_ >= columns_) {
+    throw std::logic_error("row wider than header");
+  }
+  if (fields_in_row_ > 0) out_ << ',';
+  out_ << raw;
+  ++fields_in_row_;
+}
+
+CsvWriter& CsvWriter::Field(std::string_view value) {
+  Emit(CsvEscape(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::Field(std::int64_t value) {
+  Emit(Format("{}", value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::Field(std::uint64_t value) {
+  Emit(Format("{}", value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::Field(double value) {
+  Emit(Format("{}", value));
+  return *this;
+}
+
+void CsvWriter::EndRow() {
+  if (!in_row_) throw std::logic_error("EndRow without BeginRow");
+  if (fields_in_row_ != columns_) {
+    throw std::logic_error("row narrower than header");
+  }
+  out_ << '\n';
+  in_row_ = false;
+  ++rows_;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  BeginRow();
+  for (const auto& cell : cells) Field(cell);
+  EndRow();
+}
+
+std::vector<std::string> CsvParseLine(std::string_view line) {
+  std::vector<std::string> cells;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  cells.push_back(std::move(current));
+  return cells;
+}
+
+std::size_t CsvTable::ColumnIndex(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return npos;
+}
+
+CsvTable CsvRead(std::istream& in) {
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto cells = CsvParseLine(line);
+    if (first) {
+      table.header = std::move(cells);
+      first = false;
+    } else {
+      table.rows.push_back(std::move(cells));
+    }
+  }
+  return table;
+}
+
+}  // namespace dreamsim

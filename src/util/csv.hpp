@@ -1,0 +1,62 @@
+// CSV writing/reading for experiment outputs and workload traces. RFC-4180
+// quoting; numeric formatting is locale-independent.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dreamsim {
+
+/// Streams rows of a CSV table to any std::ostream. The column set is fixed
+/// by the header; writing a row of a different width throws.
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Starts a new row; follow with Field() calls and EndRow().
+  CsvWriter& BeginRow();
+  CsvWriter& Field(std::string_view value);
+  CsvWriter& Field(std::int64_t value);
+  CsvWriter& Field(std::uint64_t value);
+  CsvWriter& Field(double value);
+  void EndRow();
+
+  /// Convenience: writes a full row of preformatted cells.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  void Emit(std::string_view raw);
+
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t fields_in_row_ = 0;
+  bool in_row_ = false;
+  std::size_t rows_ = 0;
+};
+
+/// Quotes a cell per RFC 4180 when it contains a comma, quote, or newline.
+[[nodiscard]] std::string CsvEscape(std::string_view cell);
+
+/// Parses one CSV line into cells (handles quoted cells with embedded
+/// commas/quotes; does not handle embedded newlines across lines).
+[[nodiscard]] std::vector<std::string> CsvParseLine(std::string_view line);
+
+/// Reads an entire CSV document: first row is the header.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or npos when absent.
+  [[nodiscard]] std::size_t ColumnIndex(std::string_view name) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+[[nodiscard]] CsvTable CsvRead(std::istream& in);
+
+}  // namespace dreamsim

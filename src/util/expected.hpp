@@ -1,0 +1,82 @@
+// Minimal expected<T, E> for C++20 (std::expected arrives in C++23).
+//
+// Used for fallible operations whose failure is part of normal control flow
+// (e.g. "no node with sufficient area"), where exceptions would be noise.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dreamsim {
+
+/// Wrapper distinguishing an error value from a success value of the
+/// same type. Construct via `Unexpected{err}` or the `Err()` helper.
+template <typename E>
+struct Unexpected {
+  E value;
+};
+
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+
+/// Convenience factory: `return Err(SchedError::kNoCapacity);`
+template <typename E>
+[[nodiscard]] constexpr Unexpected<std::decay_t<E>> Err(E&& e) {
+  return Unexpected<std::decay_t<E>>{std::forward<E>(e)};
+}
+
+/// A value of type T or an error of type E. API mirrors the C++23
+/// std::expected subset this project needs.
+template <typename T, typename E>
+class Expected {
+ public:
+  using value_type = T;
+  using error_type = E;
+
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> err)
+      : storage_(std::in_place_index<1>, std::move(err.value)) {}
+
+  [[nodiscard]] bool has_value() const { return storage_.index() == 0; }
+  [[nodiscard]] explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] E& error() & {
+    assert(!has_value());
+    return std::get<1>(storage_);
+  }
+  [[nodiscard]] const E& error() const& {
+    assert(!has_value());
+    return std::get<1>(storage_);
+  }
+
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+
+  /// Returns the contained value or `fallback` when holding an error.
+  template <typename U>
+  [[nodiscard]] T value_or(U&& fallback) const& {
+    return has_value() ? value() : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+}  // namespace dreamsim

@@ -1,0 +1,64 @@
+#include "util/fmt.hpp"
+
+#include <charconv>
+
+namespace dreamsim::fmt_detail {
+namespace {
+
+/// Applies an alignment spec like ":<12" or ":>8" to `value`.
+std::string ApplySpec(std::string_view spec, const std::string& value) {
+  if (spec.size() < 2 || spec[0] != ':') return value;
+  const char align = spec[1];
+  if (align != '<' && align != '>') return value;
+  std::size_t width = 0;
+  const char* first = spec.data() + 2;
+  const char* last = spec.data() + spec.size();
+  if (std::from_chars(first, last, width).ec != std::errc{}) return value;
+  if (value.size() >= width) return value;
+  const std::string pad(width - value.size(), ' ');
+  return align == '<' ? value + pad : pad + value;
+}
+
+}  // namespace
+
+std::string FormatImpl(std::string_view fmt, const std::string* args,
+                       std::size_t arg_count) {
+  std::string out;
+  out.reserve(fmt.size() + 16 * arg_count);
+  std::size_t next_arg = 0;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    const char c = fmt[i];
+    if (c == '{') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+        out.push_back('{');
+        ++i;
+        continue;
+      }
+      const auto close = fmt.find('}', i + 1);
+      if (close == std::string_view::npos) {
+        out.push_back(c);  // malformed: emit literally
+        continue;
+      }
+      const std::string_view spec = fmt.substr(i + 1, close - i - 1);
+      if (next_arg < arg_count) {
+        out += ApplySpec(spec, args[next_arg]);
+        ++next_arg;
+      } else {
+        out.push_back('{');
+        out.append(spec);
+        out.push_back('}');
+      }
+      i = close;
+      continue;
+    }
+    if (c == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+      out.push_back('}');
+      ++i;
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace dreamsim::fmt_detail

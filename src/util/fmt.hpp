@@ -1,0 +1,51 @@
+// Minimal string formatting (std::format is unavailable on GCC 12).
+//
+// Supports sequential `{}` placeholders, `{{`/`}}` escapes, and alignment
+// specs `{:<N}` / `{:>N}` (pad with spaces to width N). Arguments are
+// stringified via operator<<; formatting is locale-independent for the
+// arithmetic types the simulator emits.
+#pragma once
+
+#include <array>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dreamsim {
+namespace fmt_detail {
+
+template <typename T>
+std::string Stringify(const T& value) {
+  if constexpr (std::is_same_v<T, bool>) {
+    return value ? "true" : "false";
+  } else if constexpr (std::is_convertible_v<T, std::string_view>) {
+    return std::string(std::string_view(value));
+  } else {
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    os << value;
+    return os.str();
+  }
+}
+
+std::string FormatImpl(std::string_view fmt, const std::string* args,
+                       std::size_t arg_count);
+
+}  // namespace fmt_detail
+
+/// Formats `fmt`, replacing each `{}` (or `{:<N}` / `{:>N}`) with the next
+/// argument. Surplus placeholders render as `{}` literally; surplus
+/// arguments are ignored. Never throws on malformed input (formatting is
+/// used in error paths).
+template <typename... Args>
+[[nodiscard]] std::string Format(std::string_view fmt, const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return fmt_detail::FormatImpl(fmt, nullptr, 0);
+  } else {
+    const std::array<std::string, sizeof...(Args)> rendered{
+        fmt_detail::Stringify(args)...};
+    return fmt_detail::FormatImpl(fmt, rendered.data(), rendered.size());
+  }
+}
+
+}  // namespace dreamsim

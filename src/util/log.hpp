@@ -1,0 +1,56 @@
+// Lightweight leveled logger. The simulator core logs scheduling decisions at
+// Debug level and run summaries at Info; benchmarks silence everything below
+// Warning. A process-global sink keeps call sites terse without threading a
+// logger through every constructor.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/fmt.hpp"
+
+namespace dreamsim {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+[[nodiscard]] std::string_view ToString(LogLevel level);
+
+/// Process-global logging configuration.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  /// Minimum level that reaches the sink (default: kWarning, so library
+  /// users opt in to chatter).
+  static void SetLevel(LogLevel level);
+  [[nodiscard]] static LogLevel level();
+
+  /// Replaces the output sink (default writes "[LEVEL] message" to stderr).
+  /// Passing nullptr restores the default sink.
+  static void SetSink(Sink sink);
+
+  /// Emits a preformatted message if `level` passes the threshold.
+  static void Write(LogLevel level, std::string_view message);
+
+  /// Format-style logging: Log::Message(LogLevel::kInfo, "x={}", x).
+  /// Arguments are not rendered when the level is filtered out.
+  template <typename... Args>
+  static void Message(LogLevel level, std::string_view fmt,
+                      const Args&... args) {
+    if (level < Log::level()) return;
+    Write(level, Format(fmt, args...));
+  }
+};
+
+#define DREAMSIM_LOG(level, ...) \
+  ::dreamsim::Log::Message((level), __VA_ARGS__)
+
+}  // namespace dreamsim

@@ -1,0 +1,279 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dreamsim {
+namespace {
+
+constexpr double kTwoPow32 = 4294967296.0;  // 2^32
+constexpr double kZigguratR = 3.442619855899;  // rightmost layer x-coordinate
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t DeriveSeed(std::uint64_t master, std::uint64_t stream) {
+  std::uint64_t state = master ^ (stream * 0xD6E8FEB86659FD93ULL);
+  return SplitMix64(state);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  // Expand the 64-bit seed into the four KISS words, rejecting the rare
+  // all-zero states each sub-generator cannot leave.
+  std::uint64_t state = seed;
+  auto next_word = [&state](std::uint32_t forbidden) {
+    std::uint32_t w;
+    do {
+      w = static_cast<std::uint32_t>(SplitMix64(state));
+    } while (w == forbidden);
+    return w;
+  };
+  mwc_upper_ = next_word(0);
+  mwc_lower_ = next_word(0);
+  shr3_ = next_word(0);
+  congruential_ = static_cast<std::uint32_t>(SplitMix64(state));  // any value ok
+}
+
+std::uint32_t Rng::rand_int32() {
+  // Marsaglia KISS: multiply-with-carry pair, xorshift, and congruential.
+  mwc_upper_ = 36969u * (mwc_upper_ & 65535u) + (mwc_upper_ >> 16);
+  mwc_lower_ = 18000u * (mwc_lower_ & 65535u) + (mwc_lower_ >> 16);
+  const std::uint32_t mwc = (mwc_upper_ << 16) + mwc_lower_;
+
+  shr3_ ^= shr3_ << 13;
+  shr3_ ^= shr3_ >> 17;
+  shr3_ ^= shr3_ << 5;
+
+  congruential_ = 69069u * congruential_ + 1234567u;
+
+  return (mwc ^ congruential_) + shr3_;
+}
+
+double Rng::uniform() {
+  // 32 bits of mantissa entropy; strictly inside [0, 1).
+  return (static_cast<double>(rand_int32()) + 0.5) / kTwoPow32;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range requested
+    const std::uint64_t word =
+        (static_cast<std::uint64_t>(rand_int32()) << 32) | rand_int32();
+    return static_cast<std::int64_t>(word);
+  }
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = std::uint64_t(-1) - std::uint64_t(-1) % span;
+  std::uint64_t word;
+  do {
+    word = (static_cast<std::uint64_t>(rand_int32()) << 32) | rand_int32();
+  } while (word >= limit);
+  return lo + static_cast<std::int64_t>(word % span);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+const Rng::ZigguratTables& Rng::ziggurat_tables() {
+  // Built once; the construction follows Marsaglia & Tsang (2000).
+  static const ZigguratTables tables = [] {
+    ZigguratTables t{};
+    const double v = 9.91256303526217e-3;  // area of each layer
+    double dn = kZigguratR;
+    double tn = kZigguratR;
+    const double exp_half_r2 = std::exp(-0.5 * dn * dn);
+    const double m = 2147483648.0;  // 2^31
+
+    double q = v / exp_half_r2;
+    t.k[0] = static_cast<std::uint32_t>((dn / q) * m);
+    t.k[1] = 0;
+    t.w[0] = q / m;
+    t.w[127] = dn / m;
+    t.f[0] = 1.0;
+    t.f[127] = exp_half_r2;
+    for (std::size_t i = 126; i >= 1; --i) {
+      dn = std::sqrt(-2.0 * std::log(v / dn + std::exp(-0.5 * dn * dn)));
+      t.k[i + 1] = static_cast<std::uint32_t>((dn / tn) * m);
+      tn = dn;
+      t.f[i] = std::exp(-0.5 * dn * dn);
+      t.w[i] = dn / m;
+    }
+    return t;
+  }();
+  return tables;
+}
+
+double Rng::normal_tail(double xmin) {
+  // Marsaglia's tail method for |x| > R.
+  double x;
+  double y;
+  do {
+    x = -std::log(uniform()) / xmin;
+    y = -std::log(uniform());
+  } while (y + y < x * x);
+  return xmin + x;
+}
+
+double Rng::normal() {
+  const ZigguratTables& t = ziggurat_tables();
+  for (;;) {
+    const auto hz = static_cast<std::int32_t>(rand_int32());
+    const std::uint32_t iz = static_cast<std::uint32_t>(hz) & 127u;
+    if (static_cast<std::uint32_t>(hz < 0 ? -hz : hz) < t.k[iz]) {
+      return hz * t.w[iz];
+    }
+    // Slow path: base layer tail or wedge rejection.
+    if (iz == 0) {
+      const double tail = normal_tail(kZigguratR);
+      return hz > 0 ? tail : -tail;
+    }
+    const double x = hz * t.w[iz];
+    if (t.f[iz] + uniform() * (t.f[iz - 1] - t.f[iz]) <
+        std::exp(-0.5 * x * x)) {
+      return x;
+    }
+  }
+}
+
+double Rng::normal(double mean, double sigma) {
+  assert(sigma >= 0.0);
+  return mean + sigma * normal();
+}
+
+double Rng::exponential(double lambda) {
+  assert(lambda > 0.0);
+  return -std::log(uniform()) / lambda;
+}
+
+double Rng::gamma(double alpha, double theta) {
+  if (alpha <= 0.0 || theta <= 0.0) {
+    throw std::invalid_argument("Rng::gamma requires alpha > 0 and theta > 0");
+  }
+  if (alpha < 1.0) {
+    // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+    const double boost = std::pow(uniform(), 1.0 / alpha);
+    return gamma(alpha + 1.0, theta) * boost;
+  }
+  // Marsaglia-Tsang squeeze.
+  const double d = alpha - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    const double x2 = x * x;
+    if (u < 1.0 - 0.0331 * x2 * x2) return theta * d * v;
+    if (std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) {
+      return theta * d * v;
+    }
+  }
+}
+
+int Rng::poisson(double lambda) {
+  if (lambda < 0.0) {
+    throw std::invalid_argument("Rng::poisson requires lambda >= 0");
+  }
+  int result = 0;
+  // Ahrens-Dieter reduction: peel off large chunks with gamma jumps, then
+  // finish the remainder with Knuth's product method.
+  while (lambda > 12.0) {
+    const auto m = static_cast<int>(lambda * 7.0 / 8.0);
+    const double g = gamma(static_cast<double>(m));
+    if (g > lambda) {
+      // The m-th arrival falls beyond the window: count the earlier ones.
+      return result + binomial(lambda / g, m - 1);
+    }
+    result += m;
+    lambda -= g;
+  }
+  const double limit = std::exp(-lambda);
+  double product = uniform();
+  while (product > limit) {
+    product *= uniform();
+    ++result;
+  }
+  return result;
+}
+
+int Rng::binomial(double p, int n) {
+  if (n < 0 || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("Rng::binomial requires n >= 0 and p in [0,1]");
+  }
+  int successes = 0;
+  // Recursive beta splitting keeps the loop count O(log n) for large n.
+  while (n > 30) {
+    const int a = 1 + n / 2;
+    const double b = beta(static_cast<double>(a), static_cast<double>(n + 1 - a));
+    if (b <= p) {
+      successes += a;
+      n -= a;
+      p = (p - b) / (1.0 - b);
+    } else {
+      n = a - 1;
+      p = p / b;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (uniform() < p) ++successes;
+  }
+  return successes;
+}
+
+double Rng::beta(double a, double b) {
+  const double x = gamma(a);
+  const double y = gamma(b);
+  return x / (x + y);
+}
+
+std::vector<int> Rng::multinomial(unsigned n,
+                                  std::span<const double> probabilities) {
+  std::vector<int> counts(probabilities.size(), 0);
+  double remaining_probability = 1.0;
+  auto remaining_trials = static_cast<int>(n);
+  for (std::size_t i = 0; i + 1 < probabilities.size(); ++i) {
+    if (remaining_trials == 0) break;
+    const double conditional =
+        remaining_probability > 0.0
+            ? std::min(1.0, probabilities[i] / remaining_probability)
+            : 0.0;
+    counts[i] = binomial(conditional, remaining_trials);
+    remaining_trials -= counts[i];
+    remaining_probability -= probabilities[i];
+  }
+  if (!counts.empty()) counts.back() = remaining_trials;
+  return counts;
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument(
+        "Rng::weighted_index requires a positive total weight");
+  }
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target <= 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point slack lands on the last bucket
+}
+
+}  // namespace dreamsim

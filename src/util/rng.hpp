@@ -1,0 +1,96 @@
+// Random number generation for DReAMSim.
+//
+// Reproduces the paper's RNG class (Sec. IV-C): a core 32-bit generator in
+// the style of Marsaglia's KISS, normal variates via the Ziggurat method
+// [Marsaglia & Tsang, J. Stat. Software 2000], gamma variates via
+// [Marsaglia & Tsang, ACM TOMS 2000], and Poisson / binomial / multinomial /
+// uniform distributions layered on top. All simulator randomness flows from
+// one seeded instance, so a (seed, configuration) pair fully determines a
+// simulation run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dreamsim {
+
+/// Deterministic pseudo-random generator with the distribution suite the
+/// DReAMSim framework needs. Not thread-safe by design: each simulation owns
+/// exactly one Rng (determinism beats concurrency here); parallel sweeps use
+/// one Rng per simulation instance.
+class Rng {
+ public:
+  /// Seeds the generator. Identical seeds produce identical streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Core generator: uniformly distributed 32-bit word (KISS combination of
+  /// a multiply-with-carry, a xorshift, and a linear congruential stage).
+  [[nodiscard]] std::uint32_t rand_int32();
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform();
+
+  /// Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi);
+
+  /// Standard normal variate via the 128-layer Ziggurat method.
+  [[nodiscard]] double normal();
+
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  [[nodiscard]] double normal(double mean, double sigma);
+
+  /// Exponential variate with the given rate (lambda > 0).
+  [[nodiscard]] double exponential(double lambda);
+
+  /// Gamma variate with shape `alpha` > 0 and scale `theta` > 0, via the
+  /// Marsaglia-Tsang squeeze method (with the alpha < 1 boost).
+  [[nodiscard]] double gamma(double alpha, double theta = 1.0);
+
+  /// Poisson variate with mean `lambda` >= 0. Uses Knuth's product method
+  /// for small means and gamma-based recursive splitting for large ones.
+  [[nodiscard]] int poisson(double lambda);
+
+  /// Binomial variate: number of successes in `n` trials of probability `p`.
+  [[nodiscard]] int binomial(double p, int n);
+
+  /// Beta variate with shape parameters a, b > 0 (ratio of gammas).
+  [[nodiscard]] double beta(double a, double b);
+
+  /// Multinomial draw: distributes `n` trials over `probabilities` (which
+  /// must sum to ~1). Returns one count per category.
+  [[nodiscard]] std::vector<int> multinomial(unsigned n,
+                                             std::span<const double> probabilities);
+
+  /// Selects an index in [0, weights.size()) with chance proportional to its
+  /// weight. Requires at least one strictly positive weight.
+  [[nodiscard]] std::size_t weighted_index(std::span<const double> weights);
+
+ private:
+  // KISS state.
+  std::uint32_t mwc_upper_;
+  std::uint32_t mwc_lower_;
+  std::uint32_t shr3_;
+  std::uint32_t congruential_;
+
+  // Ziggurat tables for the standard normal (computed once per process).
+  struct ZigguratTables {
+    std::array<std::uint32_t, 128> k;
+    std::array<double, 128> w;
+    std::array<double, 128> f;
+  };
+  static const ZigguratTables& ziggurat_tables();
+
+  [[nodiscard]] double normal_tail(double xmin);
+};
+
+/// Derives an independent child seed from a master seed and a stream index
+/// (SplitMix64 finalizer); used to give each simulation in a sweep its own
+/// deterministic stream.
+[[nodiscard]] std::uint64_t DeriveSeed(std::uint64_t master, std::uint64_t stream);
+
+}  // namespace dreamsim

@@ -1,0 +1,136 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dreamsim {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double OnlineStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double OnlineStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi) || bins == 0) {
+    throw std::invalid_argument("Histogram requires lo < hi and bins > 0");
+  }
+  bin_width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto index = static_cast<std::size_t>((x - lo_) / bin_width_);
+  index = std::min(index, counts_.size() - 1);  // guards fp edge at hi_
+  ++counts_[index];
+}
+
+double Histogram::bin_lower(std::size_t i) const {
+  return lo_ + bin_width_ * static_cast<double>(i);
+}
+
+double Histogram::quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_));
+  std::uint64_t seen = underflow_;
+  if (seen > target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) return bin_lower(i) + 0.5 * bin_width_;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToAscii(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out << '[' << bin_lower(i) << ", " << bin_lower(i + 1) << ") "
+        << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  return out.str();
+}
+
+void TimeWeightedValue::Set(Tick now, double value) {
+  if (!started_) {
+    started_ = true;
+    start_ = now;
+    last_change_ = now;
+    current_ = value;
+    return;
+  }
+  assert(now >= last_change_);
+  integral_ += current_ * static_cast<double>(now - last_change_);
+  last_change_ = now;
+  current_ = value;
+}
+
+double TimeWeightedValue::IntegralUntil(Tick now) const {
+  if (!started_) return 0.0;
+  assert(now >= last_change_);
+  return integral_ + current_ * static_cast<double>(now - last_change_);
+}
+
+double TimeWeightedValue::AverageUntil(Tick now) const {
+  if (!started_ || now <= start_) return current_;
+  return IntegralUntil(now) / static_cast<double>(now - start_);
+}
+
+}  // namespace dreamsim

@@ -1,0 +1,97 @@
+// Streaming statistics used by the metrics subsystem (Table I) and by the
+// benchmark harnesses: Welford online moments, fixed-bin histograms, and a
+// small time-series accumulator for time-weighted averages.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dreamsim {
+
+/// Numerically stable online mean/variance/min/max (Welford's algorithm).
+class OnlineStats {
+ public:
+  /// Folds one observation into the accumulator.
+  void Add(double x);
+
+  /// Merges another accumulator (parallel-sweep reduction).
+  void Merge(const OnlineStats& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Population variance; 0 for fewer than two observations.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples land in
+/// saturating under/overflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Inclusive lower edge of bin i.
+  [[nodiscard]] double bin_lower(std::size_t i) const;
+  /// Approximate p-quantile (q in [0,1]) from bin midpoints.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Renders a compact fixed-width ASCII bar chart (for report appendices).
+  [[nodiscard]] std::string ToAscii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Integrates a piecewise-constant signal over simulated time, yielding
+/// time-weighted averages (used by the kTimeWeighted waste accounting).
+class TimeWeightedValue {
+ public:
+  /// Records that the signal takes `value` starting at tick `now`.
+  /// Ticks must be non-decreasing across calls.
+  void Set(Tick now, double value);
+
+  /// Integral of the signal from the first Set() up to `now`.
+  [[nodiscard]] double IntegralUntil(Tick now) const;
+
+  /// Time-weighted mean over [first Set(), now]; 0 before any sample.
+  [[nodiscard]] double AverageUntil(Tick now) const;
+
+  [[nodiscard]] double current() const { return current_; }
+
+ private:
+  bool started_ = false;
+  Tick start_ = 0;
+  Tick last_change_ = 0;
+  double current_ = 0.0;
+  double integral_ = 0.0;
+};
+
+}  // namespace dreamsim

@@ -1,0 +1,92 @@
+// Core vocabulary types shared by every DReAMSim module.
+//
+// Quantities that the paper measures in simulator units — time ticks, area
+// units, search steps — are fixed-width integer aliases so arithmetic stays
+// natural. Identifiers (nodes, configurations, tasks, processor types) are
+// strong types so they cannot be mixed up at call sites.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace dreamsim {
+
+/// Simulated time in ticks ("a unit of time on a target system", Sec. IV-C).
+using Tick = std::int64_t;
+
+/// Reconfigurable area in abstract area units (e.g. slices), Table II.
+using Area = std::int64_t;
+
+/// Search steps: "a basic unit of exploration to search a memory location".
+using Steps = std::uint64_t;
+
+/// Bitstream size in bytes (the BSize field of Eq. 2).
+using Bytes = std::int64_t;
+
+/// Sentinel for "no tick" (unset timestamps).
+inline constexpr Tick kNoTick = std::numeric_limits<Tick>::min();
+
+namespace detail {
+
+/// CRTP strong identifier: a 32-bit index plus an invalid sentinel.
+/// Tag disambiguates (NodeId vs ConfigId etc.); no implicit conversions.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type kInvalidValue =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{}; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value_;
+  }
+
+ private:
+  underlying_type value_ = kInvalidValue;
+};
+
+}  // namespace detail
+
+struct NodeTag {};
+struct ConfigTag {};
+struct TaskTag {};
+struct PtypeTag {};
+struct FamilyTag {};
+
+/// Identifies a reconfigurable node (Node_i of Eq. 1).
+using NodeId = detail::StrongId<NodeTag>;
+/// Identifies a processor configuration (C_i of Eq. 2).
+using ConfigId = detail::StrongId<ConfigTag>;
+/// Identifies an application task (Task_i of Eq. 3).
+using TaskId = detail::StrongId<TaskTag>;
+/// Identifies a processor type (P_type of Eq. 2).
+using PtypeId = detail::StrongId<PtypeTag>;
+/// Identifies a device family (the `family` field of Eq. 1).
+using FamilyId = detail::StrongId<FamilyTag>;
+
+}  // namespace dreamsim
+
+namespace std {
+
+template <typename Tag>
+struct hash<dreamsim::detail::StrongId<Tag>> {
+  size_t operator()(dreamsim::detail::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,123 @@
+#include "util/xml.hpp"
+
+#include "util/fmt.hpp"
+#include <ostream>
+#include <stdexcept>
+
+namespace dreamsim {
+
+std::string XmlEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+XmlWriter::XmlWriter(std::ostream& out, bool emit_declaration) : out_(out) {
+  if (emit_declaration) {
+    out_ << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  }
+}
+
+XmlWriter::~XmlWriter() { Finish(); }
+
+void XmlWriter::CloseStartTagIfNeeded() {
+  if (start_tag_open_) {
+    out_ << ">\n";
+    start_tag_open_ = false;
+  }
+}
+
+void XmlWriter::Indent() {
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+XmlWriter& XmlWriter::Open(std::string_view name) {
+  CloseStartTagIfNeeded();
+  Indent();
+  out_ << '<' << name;
+  stack_.emplace_back(name);
+  start_tag_open_ = true;
+  last_was_text_ = false;
+  return *this;
+}
+
+XmlWriter& XmlWriter::Attribute(std::string_view name, std::string_view value) {
+  if (!start_tag_open_) {
+    throw std::logic_error("Attribute after child content of element");
+  }
+  out_ << ' ' << name << "=\"" << XmlEscape(value) << '"';
+  return *this;
+}
+
+XmlWriter& XmlWriter::Attribute(std::string_view name, std::int64_t value) {
+  return Attribute(name, Format("{}", value));
+}
+
+XmlWriter& XmlWriter::Attribute(std::string_view name, std::uint64_t value) {
+  return Attribute(name, Format("{}", value));
+}
+
+XmlWriter& XmlWriter::Attribute(std::string_view name, double value) {
+  return Attribute(name, Format("{}", value));
+}
+
+XmlWriter& XmlWriter::Element(std::string_view name, std::string_view text) {
+  CloseStartTagIfNeeded();
+  Indent();
+  out_ << '<' << name << '>' << XmlEscape(text) << "</" << name << ">\n";
+  return *this;
+}
+
+XmlWriter& XmlWriter::Element(std::string_view name, std::int64_t value) {
+  return Element(name, Format("{}", value));
+}
+
+XmlWriter& XmlWriter::Element(std::string_view name, std::uint64_t value) {
+  return Element(name, Format("{}", value));
+}
+
+XmlWriter& XmlWriter::Element(std::string_view name, double value) {
+  return Element(name, Format("{}", value));
+}
+
+XmlWriter& XmlWriter::Text(std::string_view text) {
+  if (stack_.empty()) throw std::logic_error("Text outside any element");
+  CloseStartTagIfNeeded();
+  Indent();
+  out_ << XmlEscape(text) << '\n';
+  last_was_text_ = true;
+  return *this;
+}
+
+XmlWriter& XmlWriter::Close() {
+  if (stack_.empty()) throw std::logic_error("Close without open element");
+  if (start_tag_open_) {
+    // Element had no children: emit a self-closing tag.
+    out_ << "/>\n";
+    start_tag_open_ = false;
+    stack_.pop_back();
+    return *this;
+  }
+  const std::string name = stack_.back();
+  stack_.pop_back();
+  Indent();
+  out_ << "</" << name << ">\n";
+  last_was_text_ = false;
+  return *this;
+}
+
+void XmlWriter::Finish() {
+  while (!stack_.empty()) Close();
+}
+
+}  // namespace dreamsim

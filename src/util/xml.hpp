@@ -1,0 +1,70 @@
+// XML writer backing the paper's "XML simulation report generator" (output
+// subsystem, Sec. III). Produces well-formed, indented documents; attribute
+// and text content are escaped.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dreamsim {
+
+/// Streaming XML document writer.
+///
+/// Usage:
+///   XmlWriter xml(out);
+///   xml.Open("report");
+///   xml.Attribute("version", "1");
+///   xml.Element("metric", "42");   // <metric>42</metric>
+///   xml.Close();                   // </report>
+class XmlWriter {
+ public:
+  explicit XmlWriter(std::ostream& out, bool emit_declaration = true);
+  ~XmlWriter();
+
+  XmlWriter(const XmlWriter&) = delete;
+  XmlWriter& operator=(const XmlWriter&) = delete;
+
+  /// Opens an element; it stays open until the matching Close().
+  XmlWriter& Open(std::string_view name);
+
+  /// Adds an attribute to the most recently opened element. Only legal
+  /// before any child content has been written.
+  XmlWriter& Attribute(std::string_view name, std::string_view value);
+  XmlWriter& Attribute(std::string_view name, std::int64_t value);
+  XmlWriter& Attribute(std::string_view name, std::uint64_t value);
+  XmlWriter& Attribute(std::string_view name, double value);
+
+  /// Writes a leaf element with text content.
+  XmlWriter& Element(std::string_view name, std::string_view text);
+  XmlWriter& Element(std::string_view name, std::int64_t value);
+  XmlWriter& Element(std::string_view name, std::uint64_t value);
+  XmlWriter& Element(std::string_view name, double value);
+
+  /// Writes escaped text content inside the current element.
+  XmlWriter& Text(std::string_view text);
+
+  /// Closes the most recently opened element.
+  XmlWriter& Close();
+
+  /// Closes all open elements (also done by the destructor).
+  void Finish();
+
+  [[nodiscard]] std::size_t depth() const { return stack_.size(); }
+
+ private:
+  void CloseStartTagIfNeeded();
+  void Indent();
+
+  std::ostream& out_;
+  std::vector<std::string> stack_;
+  bool start_tag_open_ = false;
+  bool last_was_text_ = false;
+};
+
+/// Escapes &, <, >, ", ' for use in XML text and attribute values.
+[[nodiscard]] std::string XmlEscape(std::string_view raw);
+
+}  // namespace dreamsim

@@ -1,0 +1,167 @@
+#include "workload/task_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace dreamsim::workload {
+
+VertexId TaskGraph::AddVertex(GeneratedTask task) {
+  const auto id = static_cast<VertexId>(vertices_.size());
+  vertices_.push_back(GraphVertex{std::move(task), {}, {}});
+  return id;
+}
+
+void TaskGraph::AddEdge(VertexId from, VertexId to) {
+  if (from >= vertices_.size() || to >= vertices_.size()) {
+    throw std::out_of_range("TaskGraph::AddEdge: vertex out of range");
+  }
+  if (from == to) {
+    throw std::invalid_argument("TaskGraph::AddEdge: self edge");
+  }
+  vertices_[from].successors.push_back(to);
+  vertices_[to].predecessors.push_back(from);
+}
+
+const GraphVertex& TaskGraph::vertex(VertexId v) const {
+  if (v >= vertices_.size()) throw std::out_of_range("unknown vertex");
+  return vertices_[v];
+}
+
+std::vector<VertexId> TaskGraph::Roots() const {
+  std::vector<VertexId> roots;
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (vertices_[v].predecessors.empty()) roots.push_back(v);
+  }
+  return roots;
+}
+
+std::vector<VertexId> TaskGraph::TopologicalOrder() const {
+  std::vector<std::size_t> in_degree(vertices_.size());
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    in_degree[v] = vertices_[v].predecessors.size();
+  }
+  std::deque<VertexId> ready;
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (in_degree[v] == 0) ready.push_back(v);
+  }
+  std::vector<VertexId> order;
+  order.reserve(vertices_.size());
+  while (!ready.empty()) {
+    const VertexId v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (const VertexId s : vertices_[v].successors) {
+      if (--in_degree[s] == 0) ready.push_back(s);
+    }
+  }
+  if (order.size() != vertices_.size()) {
+    throw std::runtime_error("TaskGraph contains a cycle");
+  }
+  return order;
+}
+
+bool TaskGraph::IsAcyclic() const {
+  try {
+    (void)TopologicalOrder();
+    return true;
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+std::size_t TaskGraph::CriticalPathLength() const {
+  const auto order = TopologicalOrder();
+  std::vector<std::size_t> depth(vertices_.size(), 1);
+  std::size_t longest = vertices_.empty() ? 0 : 1;
+  for (const VertexId v : order) {
+    for (const VertexId s : vertices_[v].successors) {
+      depth[s] = std::max(depth[s], depth[v] + 1);
+      longest = std::max(longest, depth[s]);
+    }
+  }
+  return longest;
+}
+
+std::vector<std::string> TaskGraph::Validate() const {
+  std::vector<std::string> violations;
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    const GraphVertex& gv = vertices_[v];
+    if (gv.task.required_time <= 0) {
+      violations.push_back(Format("vertex {}: non-positive required_time", v));
+    }
+    if (gv.task.needed_area <= 0) {
+      violations.push_back(Format("vertex {}: non-positive needed_area", v));
+    }
+    for (const VertexId p : gv.predecessors) {
+      const auto& succ = vertices_[p].successors;
+      if (std::find(succ.begin(), succ.end(), v) == succ.end()) {
+        violations.push_back(
+            Format("vertex {}: predecessor {} lacks back edge", v, p));
+      }
+    }
+  }
+  if (!IsAcyclic()) violations.emplace_back("graph has a cycle");
+  return violations;
+}
+
+std::vector<double> UpwardRanks(const TaskGraph& graph) {
+  const auto order = graph.TopologicalOrder();  // throws on cycles
+  std::vector<double> ranks(graph.size(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId v = *it;
+    double best_successor = 0.0;
+    for (const VertexId s : graph.vertex(v).successors) {
+      best_successor = std::max(best_successor, ranks[s]);
+    }
+    ranks[v] =
+        static_cast<double>(graph.vertex(v).task.required_time) +
+        best_successor;
+  }
+  return ranks;
+}
+
+TaskGraph GenerateLayeredGraph(const GraphGenParams& params,
+                               const resource::ConfigCatalogue& configs,
+                               Rng& rng) {
+  if (params.layers <= 0 || params.width <= 0) {
+    throw std::invalid_argument("graph layers and width must be positive");
+  }
+  // Draw payloads with the synthetic generator, then arrange them in layers.
+  TaskGenParams task_params = params.task_params;
+  task_params.total_tasks = params.layers * params.width;
+  const Workload payloads = GenerateWorkload(task_params, configs, rng);
+
+  TaskGraph graph;
+  for (const GeneratedTask& t : payloads) {
+    GeneratedTask copy = t;
+    copy.create_time = 0;  // release is precedence-driven
+    (void)graph.AddVertex(copy);
+  }
+  const auto vertex_at = [&](int layer, int slot) {
+    return static_cast<VertexId>(layer * params.width + slot);
+  };
+  for (int layer = 1; layer < params.layers; ++layer) {
+    for (int slot = 0; slot < params.width; ++slot) {
+      const VertexId v = vertex_at(layer, slot);
+      bool has_pred = false;
+      for (int prev = 0; prev < params.width; ++prev) {
+        if (rng.uniform() < params.edge_density) {
+          graph.AddEdge(vertex_at(layer - 1, prev), v);
+          has_pred = true;
+        }
+      }
+      if (!has_pred) {
+        // Guarantee the layering: attach to a random vertex one layer up.
+        const auto prev = static_cast<int>(
+            rng.uniform_int(0, params.width - 1));
+        graph.AddEdge(vertex_at(layer - 1, prev), v);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace dreamsim::workload

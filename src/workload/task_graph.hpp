@@ -1,0 +1,88 @@
+// Task graphs (the paper's future work: "We will implement scheduling
+// policies to schedule task graphs on the distributed system with
+// reconfigurable nodes").
+//
+// A TaskGraph is a DAG whose vertices carry the Eq. 3 task tuple and whose
+// edges are precedence constraints: a vertex is released only when all of
+// its predecessors have completed. The graph session in src/core drives
+// release through the same scheduling path as independent tasks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+#include "workload/generator.hpp"
+
+namespace dreamsim::workload {
+
+/// Dense vertex index within one graph.
+using VertexId = std::uint32_t;
+
+/// One vertex: the task payload (create_time is ignored; release is driven
+/// by precedence) plus its dependency edges.
+struct GraphVertex {
+  GeneratedTask task;
+  std::vector<VertexId> predecessors;
+  std::vector<VertexId> successors;
+};
+
+/// A directed acyclic task graph.
+class TaskGraph {
+ public:
+  /// Adds a vertex; returns its id.
+  VertexId AddVertex(GeneratedTask task);
+
+  /// Adds the precedence edge from -> to (from must finish first).
+  /// Throws on out-of-range ids or self-edges.
+  void AddEdge(VertexId from, VertexId to);
+
+  [[nodiscard]] std::size_t size() const { return vertices_.size(); }
+  [[nodiscard]] const GraphVertex& vertex(VertexId v) const;
+
+  /// Vertices with no predecessors (initially runnable).
+  [[nodiscard]] std::vector<VertexId> Roots() const;
+
+  /// Topological order via Kahn's algorithm; throws std::runtime_error if
+  /// the graph has a cycle.
+  [[nodiscard]] std::vector<VertexId> TopologicalOrder() const;
+
+  /// True when the graph is acyclic.
+  [[nodiscard]] bool IsAcyclic() const;
+
+  /// Length (in vertices) of the longest path — a lower bound on sequential
+  /// depth.
+  [[nodiscard]] std::size_t CriticalPathLength() const;
+
+  /// Structural validation; empty result means consistent.
+  [[nodiscard]] std::vector<std::string> Validate() const;
+
+ private:
+  std::vector<GraphVertex> vertices_;
+};
+
+/// Parameters for synthetic layered DAG generation.
+struct GraphGenParams {
+  int layers = 4;
+  int width = 8;               // vertices per layer
+  double edge_density = 0.35;  // P(edge) between adjacent layers
+  TaskGenParams task_params;   // payload ranges (arrival fields unused)
+};
+
+/// Generates a layered random DAG: edges only go from layer k to k+1, each
+/// drawn with probability edge_density; every non-root vertex is guaranteed
+/// at least one predecessor so the layering is meaningful.
+[[nodiscard]] TaskGraph GenerateLayeredGraph(
+    const GraphGenParams& params, const resource::ConfigCatalogue& configs,
+    Rng& rng);
+
+/// HEFT-style upward ranks: rank(v) = t_required(v) + max over successors
+/// of rank(successor) (communication costs are folded into the network
+/// model, not the rank). The rank of a vertex is the length of the longest
+/// execution path from it to an exit — scheduling higher ranks first keeps
+/// the critical path moving. Throws on cyclic graphs.
+[[nodiscard]] std::vector<double> UpwardRanks(const TaskGraph& graph);
+
+}  // namespace dreamsim::workload

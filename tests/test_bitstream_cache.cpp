@@ -1,0 +1,129 @@
+// Tests for the per-node LRU bitstream cache and its simulator integration.
+#include "net/bitstream_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+
+namespace dreamsim::net {
+namespace {
+
+TEST(BitstreamCache, DisabledCacheAlwaysMisses) {
+  BitstreamCache cache(0);
+  cache.Insert(ConfigId{1}, 100);
+  EXPECT_FALSE(cache.Lookup(ConfigId{1}));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(BitstreamCache, HitAfterInsert) {
+  BitstreamCache cache(1000);
+  EXPECT_FALSE(cache.Lookup(ConfigId{1}));
+  cache.Insert(ConfigId{1}, 100);
+  EXPECT_TRUE(cache.Lookup(ConfigId{1}));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
+  EXPECT_EQ(cache.used(), 100);
+}
+
+TEST(BitstreamCache, LruEviction) {
+  BitstreamCache cache(300);
+  cache.Insert(ConfigId{1}, 100);
+  cache.Insert(ConfigId{2}, 100);
+  cache.Insert(ConfigId{3}, 100);
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_TRUE(cache.Lookup(ConfigId{1}));
+  cache.Insert(ConfigId{4}, 100);
+  EXPECT_TRUE(cache.Lookup(ConfigId{1}));
+  EXPECT_FALSE(cache.Lookup(ConfigId{2}));  // evicted
+  EXPECT_TRUE(cache.Lookup(ConfigId{3}));
+  EXPECT_TRUE(cache.Lookup(ConfigId{4}));
+  EXPECT_EQ(cache.used(), 300);
+}
+
+TEST(BitstreamCache, OversizedBitstreamBypasses) {
+  BitstreamCache cache(100);
+  cache.Insert(ConfigId{1}, 500);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_FALSE(cache.Lookup(ConfigId{1}));
+}
+
+TEST(BitstreamCache, ReinsertRefreshesSizeAndRecency) {
+  BitstreamCache cache(300);
+  cache.Insert(ConfigId{1}, 100);
+  cache.Insert(ConfigId{2}, 100);
+  cache.Insert(ConfigId{1}, 200);  // grow in place
+  EXPECT_EQ(cache.used(), 300);
+  cache.Insert(ConfigId{3}, 100);  // evicts 2 (LRU), not the refreshed 1
+  EXPECT_TRUE(cache.Lookup(ConfigId{1}));
+  EXPECT_FALSE(cache.Lookup(ConfigId{2}));
+}
+
+TEST(BitstreamCache, EvictsMultipleForLargeInsert) {
+  BitstreamCache cache(300);
+  cache.Insert(ConfigId{1}, 100);
+  cache.Insert(ConfigId{2}, 100);
+  cache.Insert(ConfigId{3}, 100);
+  cache.Insert(ConfigId{4}, 250);  // must evict 1 and 2 and 3
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_TRUE(cache.Lookup(ConfigId{4}));
+  EXPECT_EQ(cache.used(), 250);
+}
+
+TEST(BitstreamCache, ClearResetsContentsKeepsStats) {
+  BitstreamCache cache(300);
+  cache.Insert(ConfigId{1}, 100);
+  (void)cache.Lookup(ConfigId{1});
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.used(), 0);
+  EXPECT_EQ(cache.hits(), 1u);  // counters are cumulative diagnostics
+}
+
+// ---- Simulator integration ----
+
+TEST(BitstreamShipping, AddsTransferDelayAndCachesCutIt) {
+  using namespace dreamsim::core;
+
+  const auto run = [](Bytes cache_capacity) {
+    SimulationConfig config;
+    config.nodes.count = 20;
+    config.configs.count = 6;
+    config.tasks.total_tasks = 800;
+    config.seed = 7;
+    config.ship_bitstreams = true;
+    config.bitstream_cache_capacity = cache_capacity;
+    config.network.bytes_per_tick = 1000;
+    Simulator sim(std::move(config));
+    return sim.Run();
+  };
+
+  const MetricsReport uncached = run(0);
+  const MetricsReport cached = run(10'000'000);  // effectively infinite
+
+  // Without a cache every configuration ships its bitstream.
+  EXPECT_EQ(uncached.bitstream_hits, 0u);
+  EXPECT_GT(uncached.bitstream_misses, 0u);
+  EXPECT_GT(uncached.bitstream_transfer_time, 0);
+
+  // With an unbounded cache, repeat configurations hit.
+  EXPECT_GT(cached.bitstream_hits, 0u);
+  EXPECT_LT(cached.bitstream_transfer_time,
+            uncached.bitstream_transfer_time);
+}
+
+TEST(BitstreamShipping, DisabledByDefault) {
+  using namespace dreamsim::core;
+  SimulationConfig config;
+  config.nodes.count = 10;
+  config.configs.count = 5;
+  config.tasks.total_tasks = 200;
+  Simulator sim(std::move(config));
+  const MetricsReport report = sim.Run();
+  EXPECT_EQ(report.bitstream_hits + report.bitstream_misses, 0u);
+  EXPECT_EQ(report.bitstream_transfer_time, 0);
+}
+
+}  // namespace
+}  // namespace dreamsim::net

@@ -1,0 +1,123 @@
+// Tests for the command-line parser used by examples and benches.
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dreamsim {
+namespace {
+
+bool ParseArgs(CliParser& cli, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return cli.Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CliParser, DefaultsApplyWithoutArgs) {
+  CliParser cli("test");
+  cli.AddInt("n", 7, "count");
+  cli.AddString("name", "x", "label");
+  cli.AddDouble("ratio", 0.5, "ratio");
+  cli.AddBool("flag", false, "flag");
+  ASSERT_TRUE(ParseArgs(cli, {}));
+  EXPECT_EQ(cli.GetInt("n"), 7);
+  EXPECT_EQ(cli.GetString("name"), "x");
+  EXPECT_DOUBLE_EQ(cli.GetDouble("ratio"), 0.5);
+  EXPECT_FALSE(cli.GetBool("flag"));
+}
+
+TEST(CliParser, EqualsSyntax) {
+  CliParser cli("test");
+  cli.AddInt("n", 0, "count");
+  ASSERT_TRUE(ParseArgs(cli, {"--n=42"}));
+  EXPECT_EQ(cli.GetInt("n"), 42);
+}
+
+TEST(CliParser, SpaceSyntax) {
+  CliParser cli("test");
+  cli.AddInt("n", 0, "count");
+  ASSERT_TRUE(ParseArgs(cli, {"--n", "13"}));
+  EXPECT_EQ(cli.GetInt("n"), 13);
+}
+
+TEST(CliParser, BareBooleanFlagMeansTrue) {
+  CliParser cli("test");
+  cli.AddBool("verbose", false, "talk");
+  ASSERT_TRUE(ParseArgs(cli, {"--verbose"}));
+  EXPECT_TRUE(cli.GetBool("verbose"));
+}
+
+TEST(CliParser, BooleanExplicitValues) {
+  CliParser cli("test");
+  cli.AddBool("a", false, "");
+  cli.AddBool("b", true, "");
+  ASSERT_TRUE(ParseArgs(cli, {"--a=yes", "--b=off"}));
+  EXPECT_TRUE(cli.GetBool("a"));
+  EXPECT_FALSE(cli.GetBool("b"));
+}
+
+TEST(CliParser, UnknownOptionFails) {
+  CliParser cli("test");
+  ASSERT_FALSE(ParseArgs(cli, {"--nope=1"}));
+  EXPECT_NE(cli.error().find("nope"), std::string::npos);
+}
+
+TEST(CliParser, MalformedIntFails) {
+  CliParser cli("test");
+  cli.AddInt("n", 0, "");
+  ASSERT_FALSE(ParseArgs(cli, {"--n=abc"}));
+  EXPECT_NE(cli.error().find("integer"), std::string::npos);
+}
+
+TEST(CliParser, MalformedDoubleFails) {
+  CliParser cli("test");
+  cli.AddDouble("r", 0.0, "");
+  ASSERT_FALSE(ParseArgs(cli, {"--r=1.2.3"}));
+}
+
+TEST(CliParser, MissingValueFails) {
+  CliParser cli("test");
+  cli.AddInt("n", 0, "");
+  ASSERT_FALSE(ParseArgs(cli, {"--n"}));
+  EXPECT_NE(cli.error().find("expects a value"), std::string::npos);
+}
+
+TEST(CliParser, NegativeNumbers) {
+  CliParser cli("test");
+  cli.AddInt("n", 0, "");
+  cli.AddDouble("d", 0.0, "");
+  ASSERT_TRUE(ParseArgs(cli, {"--n=-5", "--d=-1.5"}));
+  EXPECT_EQ(cli.GetInt("n"), -5);
+  EXPECT_DOUBLE_EQ(cli.GetDouble("d"), -1.5);
+}
+
+TEST(CliParser, PositionalArguments) {
+  CliParser cli("test");
+  cli.AddInt("n", 0, "");
+  ASSERT_TRUE(ParseArgs(cli, {"file1", "--n=1", "file2"}));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "file1");
+  EXPECT_EQ(cli.positional()[1], "file2");
+}
+
+TEST(CliParser, HelpRequested) {
+  CliParser cli("test tool");
+  cli.AddInt("n", 3, "the count");
+  ASSERT_TRUE(ParseArgs(cli, {"--help"}));
+  EXPECT_TRUE(cli.help_requested());
+  const std::string help = cli.HelpText();
+  EXPECT_NE(help.find("test tool"), std::string::npos);
+  EXPECT_NE(help.find("--n"), std::string::npos);
+  EXPECT_NE(help.find("default: 3"), std::string::npos);
+}
+
+TEST(CliParser, TypeMismatchAccessThrows) {
+  CliParser cli("test");
+  cli.AddInt("n", 0, "");
+  ASSERT_TRUE(ParseArgs(cli, {}));
+  EXPECT_THROW((void)cli.GetString("n"), std::logic_error);
+  EXPECT_THROW((void)cli.GetInt("missing"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dreamsim

@@ -1,0 +1,150 @@
+// Tests for the configuration catalogue (Eq. 2) and its counted searches.
+#include "resource/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ptype/catalogue.hpp"
+
+namespace dreamsim::resource {
+namespace {
+
+ConfigCatalogue MakeCatalogue(std::initializer_list<Area> areas) {
+  ConfigCatalogue c;
+  for (const Area a : areas) {
+    Configuration cfg;
+    cfg.required_area = a;
+    cfg.config_time = 10;
+    c.Add(cfg);
+  }
+  return c;
+}
+
+TEST(ConfigCatalogue, AddAssignsIdsAndTracksMax) {
+  ConfigCatalogue c = MakeCatalogue({500, 1200, 300});
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.Get(ConfigId{1}).required_area, 1200);
+  EXPECT_EQ(c.max_required_area(), 1200);
+}
+
+TEST(ConfigCatalogue, AddRejectsNonPositiveArea) {
+  ConfigCatalogue c;
+  Configuration cfg;
+  cfg.required_area = 0;
+  EXPECT_THROW((void)c.Add(cfg), std::invalid_argument);
+}
+
+TEST(ConfigCatalogue, ContainsAndGet) {
+  ConfigCatalogue c = MakeCatalogue({100});
+  EXPECT_TRUE(c.Contains(ConfigId{0}));
+  EXPECT_FALSE(c.Contains(ConfigId{1}));
+  EXPECT_FALSE(c.Contains(ConfigId::invalid()));
+  EXPECT_THROW((void)c.Get(ConfigId{5}), std::out_of_range);
+}
+
+TEST(ConfigCatalogue, FindPreferredCountsSteps) {
+  ConfigCatalogue c = MakeCatalogue({100, 200, 300, 400});
+  Steps steps = 0;
+  const auto found = c.FindPreferred(ConfigId{2}, steps);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, ConfigId{2});
+  EXPECT_EQ(steps, 3u);  // linear scan visits entries 0, 1, 2
+}
+
+TEST(ConfigCatalogue, FindPreferredMissCostsFullScan) {
+  ConfigCatalogue c = MakeCatalogue({100, 200});
+  Steps steps = 0;
+  EXPECT_FALSE(c.FindPreferred(ConfigId{9}, steps).has_value());
+  EXPECT_EQ(steps, 2u);
+}
+
+TEST(ConfigCatalogue, FindClosestMatchPicksMinimalSufficient) {
+  ConfigCatalogue c = MakeCatalogue({100, 900, 500, 700});
+  Steps steps = 0;
+  const auto match = c.FindClosestMatch(450, steps);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(c.Get(*match).required_area, 500);
+  EXPECT_EQ(steps, 4u);  // full scan (needs the global minimum)
+}
+
+TEST(ConfigCatalogue, FindClosestMatchExactBoundary) {
+  ConfigCatalogue c = MakeCatalogue({100, 500});
+  Steps steps = 0;
+  const auto match = c.FindClosestMatch(500, steps);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(c.Get(*match).required_area, 500);
+}
+
+TEST(ConfigCatalogue, FindClosestMatchNoneLargeEnough) {
+  ConfigCatalogue c = MakeCatalogue({100, 200});
+  Steps steps = 0;
+  EXPECT_FALSE(c.FindClosestMatch(5000, steps).has_value());
+}
+
+TEST(ConfigCatalogue, GenerateHonoursRanges) {
+  ConfigGenParams params;
+  params.count = 200;
+  params.min_area = 200;
+  params.max_area = 2000;
+  params.min_config_time = 10;
+  params.max_config_time = 20;
+  Rng rng(3);
+  const auto ptypes = ptype::Catalogue::Default();
+  const ConfigCatalogue c = ConfigCatalogue::Generate(params, ptypes, rng);
+  ASSERT_EQ(c.size(), 200u);
+  for (const Configuration& cfg : c.all()) {
+    EXPECT_GE(cfg.required_area, 200);
+    EXPECT_LE(cfg.required_area, 2000);
+    EXPECT_GE(cfg.config_time, 10);
+    EXPECT_LE(cfg.config_time, 20);
+    EXPECT_GT(cfg.bitstream_size, 0);
+    EXPECT_TRUE(cfg.ptype.valid());
+  }
+}
+
+TEST(ConfigCatalogue, GenerateBitstreamScalesWithArea) {
+  ConfigGenParams params;
+  params.count = 50;
+  Rng rng(7);
+  const auto ptypes = ptype::Catalogue::Default();
+  const ConfigCatalogue c = ConfigCatalogue::Generate(params, ptypes, rng);
+  for (const Configuration& cfg : c.all()) {
+    EXPECT_EQ(cfg.bitstream_size, ptype::BitstreamSize(cfg.required_area));
+  }
+}
+
+TEST(ConfigCatalogue, GenerateRejectsBadRanges) {
+  Rng rng(1);
+  const auto ptypes = ptype::Catalogue::Default();
+  ConfigGenParams bad;
+  bad.min_area = 0;
+  EXPECT_THROW((void)ConfigCatalogue::Generate(bad, ptypes, rng),
+               std::invalid_argument);
+  bad = ConfigGenParams{};
+  bad.min_area = 3000;
+  bad.max_area = 2000;
+  EXPECT_THROW((void)ConfigCatalogue::Generate(bad, ptypes, rng),
+               std::invalid_argument);
+  bad = ConfigGenParams{};
+  bad.min_config_time = 0;
+  EXPECT_THROW((void)ConfigCatalogue::Generate(bad, ptypes, rng),
+               std::invalid_argument);
+}
+
+TEST(ConfigCatalogue, GenerateIsDeterministicPerSeed) {
+  ConfigGenParams params;
+  params.count = 30;
+  const auto ptypes = ptype::Catalogue::Default();
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const auto a = ConfigCatalogue::Generate(params, ptypes, rng_a);
+  const auto b = ConfigCatalogue::Generate(params, ptypes, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.all()[i].required_area, b.all()[i].required_area);
+    EXPECT_EQ(a.all()[i].config_time, b.all()[i].config_time);
+    EXPECT_EQ(a.all()[i].ptype, b.all()[i].ptype);
+  }
+}
+
+}  // namespace
+}  // namespace dreamsim::resource

@@ -1,0 +1,128 @@
+// Tests for CSV writing/reading (trace and report formats depend on it).
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dreamsim {
+namespace {
+
+TEST(CsvEscape, PlainCellUnchanged) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscape, QuotesCellsWithSpecials) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter w(out, {"a", "b"});
+  w.BeginRow();
+  w.Field(std::int64_t{1});
+  w.Field("x,y");
+  w.EndRow();
+  EXPECT_EQ(out.str(), "a,b\n1,\"x,y\"\n");
+  EXPECT_EQ(w.rows_written(), 1u);
+}
+
+TEST(CsvWriter, RejectsEmptyHeader) {
+  std::ostringstream out;
+  EXPECT_THROW(CsvWriter(out, {}), std::invalid_argument);
+}
+
+TEST(CsvWriter, RejectsWrongWidthRows) {
+  std::ostringstream out;
+  CsvWriter w(out, {"a", "b"});
+  w.BeginRow();
+  w.Field("1");
+  EXPECT_THROW(w.EndRow(), std::logic_error);  // too narrow
+  w.Field("2");
+  EXPECT_THROW(w.Field("3"), std::logic_error);  // too wide
+}
+
+TEST(CsvWriter, RejectsFieldOutsideRow) {
+  std::ostringstream out;
+  CsvWriter w(out, {"a"});
+  EXPECT_THROW(w.Field("x"), std::logic_error);
+  EXPECT_THROW(w.EndRow(), std::logic_error);
+}
+
+TEST(CsvWriter, WriteRowConvenience) {
+  std::ostringstream out;
+  CsvWriter w(out, {"a", "b"});
+  w.WriteRow({"1", "2"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriter, NumericFields) {
+  std::ostringstream out;
+  CsvWriter w(out, {"i", "u", "d"});
+  w.BeginRow();
+  w.Field(std::int64_t{-5});
+  w.Field(std::uint64_t{7});
+  w.Field(2.25);
+  w.EndRow();
+  EXPECT_EQ(out.str(), "i,u,d\n-5,7,2.25\n");
+}
+
+TEST(CsvParseLine, SimpleCells) {
+  const auto cells = CsvParseLine("a,b,c");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[2], "c");
+}
+
+TEST(CsvParseLine, QuotedCells) {
+  const auto cells = CsvParseLine("\"a,b\",\"say \"\"hi\"\"\",plain");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a,b");
+  EXPECT_EQ(cells[1], "say \"hi\"");
+  EXPECT_EQ(cells[2], "plain");
+}
+
+TEST(CsvParseLine, EmptyCells) {
+  const auto cells = CsvParseLine(",,");
+  ASSERT_EQ(cells.size(), 3u);
+  for (const auto& c : cells) EXPECT_TRUE(c.empty());
+}
+
+TEST(CsvParseLine, StripsCarriageReturn) {
+  const auto cells = CsvParseLine("a,b\r");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[1], "b");
+}
+
+TEST(CsvRead, RoundTrip) {
+  std::ostringstream out;
+  CsvWriter w(out, {"x", "y"});
+  w.WriteRow({"1", "hello, world"});
+  w.WriteRow({"2", "quote\"d"});
+
+  std::istringstream in(out.str());
+  const CsvTable table = CsvRead(in);
+  ASSERT_EQ(table.header.size(), 2u);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0][1], "hello, world");
+  EXPECT_EQ(table.rows[1][1], "quote\"d");
+}
+
+TEST(CsvRead, ColumnIndexLookup) {
+  std::istringstream in("a,b,c\n1,2,3\n");
+  const CsvTable table = CsvRead(in);
+  EXPECT_EQ(table.ColumnIndex("b"), 1u);
+  EXPECT_EQ(table.ColumnIndex("missing"), CsvTable::npos);
+}
+
+TEST(CsvRead, SkipsBlankLines) {
+  std::istringstream in("a\n\n1\n\n2\n");
+  const CsvTable table = CsvRead(in);
+  EXPECT_EQ(table.rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dreamsim

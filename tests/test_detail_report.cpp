@@ -1,0 +1,92 @@
+// Tests for the per-node / per-configuration detail reports.
+#include "rms/detail_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/simulator.hpp"
+#include "util/csv.hpp"
+#include "util/fmt.hpp"
+
+namespace dreamsim::rms {
+namespace {
+
+TEST(DetailReport, NodeCsvHasOneRowPerNode) {
+  core::SimulationConfig config;
+  config.nodes.count = 12;
+  config.configs.count = 5;
+  config.tasks.total_tasks = 150;
+  config.seed = 5;
+  core::Simulator sim(std::move(config));
+  (void)sim.Run();
+
+  std::stringstream buffer;
+  WriteNodeCsv(buffer, sim.store());
+  const CsvTable table = CsvRead(buffer);
+  ASSERT_EQ(table.rows.size(), 12u);
+  const std::size_t id_col = table.ColumnIndex("node");
+  const std::size_t reconf_col = table.ColumnIndex("reconfig_count");
+  ASSERT_NE(id_col, CsvTable::npos);
+  ASSERT_NE(reconf_col, CsvTable::npos);
+  std::uint64_t total_reconfigs = 0;
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    EXPECT_EQ(table.rows[i][id_col], Format("{}", i));
+    total_reconfigs += std::stoull(table.rows[i][reconf_col]);
+  }
+  EXPECT_EQ(total_reconfigs, sim.store().TotalReconfigurations());
+}
+
+TEST(DetailReport, ConfigCsvAccountsEveryPlacement) {
+  core::SimulationConfig config;
+  config.nodes.count = 12;
+  config.configs.count = 5;
+  config.tasks.total_tasks = 150;
+  config.seed = 5;
+  core::Simulator sim(std::move(config));
+  const core::MetricsReport report = sim.Run();
+
+  std::stringstream buffer;
+  WriteConfigCsv(buffer, sim.store(), report.placements_per_config);
+  const CsvTable table = CsvRead(buffer);
+  ASSERT_EQ(table.rows.size(), 5u);
+  const std::size_t placements_col = table.ColumnIndex("placements");
+  ASSERT_NE(placements_col, CsvTable::npos);
+  std::uint64_t total_placements = 0;
+  for (const auto& row : table.rows) {
+    total_placements += std::stoull(row[placements_col]);
+  }
+  // Every completed task was placed exactly once on some configuration.
+  EXPECT_EQ(total_placements, report.completed_tasks);
+}
+
+TEST(DetailReport, UniversalFamilyRendered) {
+  core::SimulationConfig config;
+  config.nodes.count = 4;
+  config.configs.count = 3;
+  config.tasks.total_tasks = 20;
+  core::Simulator sim(std::move(config));
+  const core::MetricsReport report = sim.Run();
+  std::stringstream buffer;
+  WriteConfigCsv(buffer, sim.store(), report.placements_per_config);
+  EXPECT_NE(buffer.str().find("universal"), std::string::npos);
+}
+
+TEST(DetailReport, ShortPlacementSpanReadsAsZero) {
+  core::SimulationConfig config;
+  config.nodes.count = 4;
+  config.configs.count = 3;
+  config.tasks.total_tasks = 10;
+  core::Simulator sim(std::move(config));
+  (void)sim.Run();
+  std::stringstream buffer;
+  WriteConfigCsv(buffer, sim.store(), {});  // empty span
+  const CsvTable table = CsvRead(buffer);
+  const std::size_t placements_col = table.ColumnIndex("placements");
+  for (const auto& row : table.rows) {
+    EXPECT_EQ(row[placements_col], "0");
+  }
+}
+
+}  // namespace
+}  // namespace dreamsim::rms

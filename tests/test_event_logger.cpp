@@ -1,0 +1,131 @@
+// Tests for the simulator's event logger: completeness, ordering, and
+// consistency with the metrics report.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace dreamsim::core {
+namespace {
+
+SimulationConfig SmallConfig(int tasks, int nodes, std::uint64_t seed = 3) {
+  SimulationConfig config;
+  config.nodes.count = nodes;
+  config.configs.count = 6;
+  config.tasks.total_tasks = tasks;
+  config.seed = seed;
+  return config;
+}
+
+struct Recorded {
+  std::vector<SimEvent> events;
+  std::map<SimEvent::Kind, std::size_t> counts;
+};
+
+Recorded RunWithLogger(SimulationConfig config, MetricsReport* report_out) {
+  Recorded recorded;
+  Simulator sim(std::move(config));
+  sim.SetEventLogger([&recorded](const SimEvent& event) {
+    recorded.events.push_back(event);
+    ++recorded.counts[event.kind];
+  });
+  const MetricsReport report = sim.Run();
+  if (report_out) *report_out = report;
+  return recorded;
+}
+
+TEST(EventLogger, CountsMatchMetricsReport) {
+  MetricsReport report;
+  const Recorded recorded = RunWithLogger(SmallConfig(400, 8), &report);
+
+  EXPECT_EQ(recorded.counts.at(SimEvent::Kind::kArrival), report.total_tasks);
+  EXPECT_EQ(recorded.counts.at(SimEvent::Kind::kCompleted),
+            report.completed_tasks);
+  const auto discarded =
+      recorded.counts.count(SimEvent::Kind::kDiscarded)
+          ? recorded.counts.at(SimEvent::Kind::kDiscarded)
+          : 0;
+  EXPECT_EQ(discarded, report.discarded_tasks);
+  EXPECT_EQ(recorded.counts.at(SimEvent::Kind::kSuspended),
+            report.suspended_ever);
+  // Every completion was preceded by exactly one placement for that task.
+  EXPECT_EQ(recorded.counts.at(SimEvent::Kind::kPlaced),
+            report.completed_tasks);
+}
+
+TEST(EventLogger, TicksAreMonotone) {
+  const Recorded recorded = RunWithLogger(SmallConfig(300, 8), nullptr);
+  Tick last = 0;
+  for (const SimEvent& event : recorded.events) {
+    EXPECT_GE(event.tick, last);
+    last = event.tick;
+  }
+}
+
+TEST(EventLogger, PerTaskLifecycleOrder) {
+  const Recorded recorded = RunWithLogger(SmallConfig(300, 8), nullptr);
+  // For each task: arrival first; placed before completed; completed or
+  // discarded terminal.
+  std::map<std::uint32_t, std::vector<SimEvent::Kind>> per_task;
+  for (const SimEvent& event : recorded.events) {
+    per_task[event.task.value()].push_back(event.kind);
+  }
+  for (const auto& [task, kinds] : per_task) {
+    ASSERT_FALSE(kinds.empty());
+    EXPECT_EQ(kinds.front(), SimEvent::Kind::kArrival) << "task " << task;
+    const SimEvent::Kind terminal = kinds.back();
+    EXPECT_TRUE(terminal == SimEvent::Kind::kCompleted ||
+                terminal == SimEvent::Kind::kDiscarded)
+        << "task " << task;
+    // A placement, if any, must precede the completion.
+    int placed_at = -1;
+    int completed_at = -1;
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      if (kinds[i] == SimEvent::Kind::kPlaced) placed_at = static_cast<int>(i);
+      if (kinds[i] == SimEvent::Kind::kCompleted) {
+        completed_at = static_cast<int>(i);
+      }
+    }
+    if (completed_at >= 0) {
+      ASSERT_GE(placed_at, 0) << "task " << task;
+      EXPECT_LT(placed_at, completed_at) << "task " << task;
+    }
+  }
+}
+
+TEST(EventLogger, PlacedEventsCarryNodeAndConfig) {
+  const Recorded recorded = RunWithLogger(SmallConfig(200, 8), nullptr);
+  for (const SimEvent& event : recorded.events) {
+    if (event.kind == SimEvent::Kind::kPlaced ||
+        event.kind == SimEvent::Kind::kCompleted) {
+      EXPECT_TRUE(event.node.valid());
+      EXPECT_TRUE(event.config.valid());
+    }
+  }
+}
+
+TEST(EventLogger, KindNames) {
+  EXPECT_EQ(ToString(SimEvent::Kind::kArrival), "arrival");
+  EXPECT_EQ(ToString(SimEvent::Kind::kPlaced), "placed");
+  EXPECT_EQ(ToString(SimEvent::Kind::kSuspended), "suspended");
+  EXPECT_EQ(ToString(SimEvent::Kind::kDiscarded), "discarded");
+  EXPECT_EQ(ToString(SimEvent::Kind::kCompleted), "completed");
+}
+
+TEST(EventLogger, DisabledByDefaultCostsNothing) {
+  // No logger: the simulation must run exactly as before (determinism
+  // check against a logged twin).
+  MetricsReport with_logger;
+  (void)RunWithLogger(SmallConfig(200, 8, 9), &with_logger);
+  Simulator plain(SmallConfig(200, 8, 9));
+  const MetricsReport without_logger = plain.Run();
+  EXPECT_EQ(with_logger.total_scheduler_workload,
+            without_logger.total_scheduler_workload);
+  EXPECT_EQ(with_logger.total_simulation_time,
+            without_logger.total_simulation_time);
+}
+
+}  // namespace
+}  // namespace dreamsim::core

@@ -1,0 +1,61 @@
+// Tests for the Expected<T, E> error-handling vocabulary type.
+#include "util/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dreamsim {
+namespace {
+
+enum class Error { kNotFound, kBusy };
+
+TEST(Expected, HoldsValue) {
+  Expected<int, Error> e(42);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(*e, 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int, Error> e = Err(Error::kBusy);
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error(), Error::kBusy);
+}
+
+TEST(Expected, ValueOrFallback) {
+  Expected<int, Error> ok(7);
+  Expected<int, Error> bad = Err(Error::kNotFound);
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string, Error> e(std::string("hello"));
+  EXPECT_EQ(e->size(), 5u);
+}
+
+TEST(Expected, MutationThroughReference) {
+  Expected<std::string, Error> e(std::string("a"));
+  e.value() += "b";
+  EXPECT_EQ(*e, "ab");
+}
+
+TEST(Expected, MoveOutValue) {
+  Expected<std::string, Error> e(std::string("payload"));
+  const std::string moved = std::move(e).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(Expected, SameTypeForValueAndError) {
+  // Unexpected disambiguates when T == E.
+  Expected<int, int> ok(1);
+  Expected<int, int> bad = Err(2);
+  EXPECT_TRUE(ok.has_value());
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error(), 2);
+}
+
+}  // namespace
+}  // namespace dreamsim

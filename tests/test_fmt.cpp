@@ -1,0 +1,67 @@
+// Tests for the minimal formatter used across the library.
+#include "util/fmt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dreamsim {
+namespace {
+
+TEST(Format, NoPlaceholders) {
+  EXPECT_EQ(Format("hello"), "hello");
+  EXPECT_EQ(Format(""), "");
+}
+
+TEST(Format, BasicSubstitution) {
+  EXPECT_EQ(Format("x={}", 42), "x=42");
+  EXPECT_EQ(Format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+}
+
+TEST(Format, StringsAndViews) {
+  EXPECT_EQ(Format("{}!", std::string("hi")), "hi!");
+  EXPECT_EQ(Format("{}!", std::string_view("hi")), "hi!");
+  EXPECT_EQ(Format("{}!", "hi"), "hi!");
+}
+
+TEST(Format, Booleans) {
+  EXPECT_EQ(Format("{} {}", true, false), "true false");
+}
+
+TEST(Format, Doubles) {
+  EXPECT_EQ(Format("{}", 1.5), "1.5");
+}
+
+TEST(Format, NegativeAndUnsigned) {
+  EXPECT_EQ(Format("{} {}", -7, 7u), "-7 7");
+  EXPECT_EQ(Format("{}", std::uint64_t{18446744073709551615ULL}),
+            "18446744073709551615");
+}
+
+TEST(Format, EscapedBraces) {
+  EXPECT_EQ(Format("{{}}"), "{}");
+  EXPECT_EQ(Format("{{{}}}", 5), "{5}");
+}
+
+TEST(Format, LeftAlignment) {
+  EXPECT_EQ(Format("[{:<6}]", "ab"), "[ab    ]");
+  EXPECT_EQ(Format("[{:<2}]", "abcd"), "[abcd]");
+}
+
+TEST(Format, RightAlignment) {
+  EXPECT_EQ(Format("[{:>6}]", "ab"), "[    ab]");
+  EXPECT_EQ(Format("[{:>6}]", 42), "[    42]");
+}
+
+TEST(Format, SurplusPlaceholdersRenderLiterally) {
+  EXPECT_EQ(Format("{} {}", 1), "1 {}");
+}
+
+TEST(Format, SurplusArgumentsIgnored) {
+  EXPECT_EQ(Format("{}", 1, 2, 3), "1");
+}
+
+TEST(Format, MalformedOpenBrace) {
+  EXPECT_EQ(Format("{unclosed", 1), "{unclosed");
+}
+
+}  // namespace
+}  // namespace dreamsim

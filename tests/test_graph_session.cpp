@@ -1,0 +1,126 @@
+// Tests for the task-graph scheduling session (future-work extension).
+#include "core/graph_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ptype/catalogue.hpp"
+
+namespace dreamsim::core {
+namespace {
+
+SimulationConfig GraphConfig(int nodes = 10, std::uint64_t seed = 3) {
+  SimulationConfig config;
+  config.nodes.count = nodes;
+  config.configs.count = 6;
+  config.seed = seed;
+  return config;
+}
+
+workload::GeneratedTask Payload(std::uint32_t preferred, Tick required) {
+  workload::GeneratedTask t;
+  t.preferred_config = ConfigId{preferred};
+  t.needed_area = 500;  // generous; the generated catalogue varies
+  t.required_time = required;
+  return t;
+}
+
+TEST(GraphSession, LinearChainRunsSequentially) {
+  workload::TaskGraph g;
+  const auto a = g.AddVertex(Payload(0, 100));
+  const auto b = g.AddVertex(Payload(1, 100));
+  const auto c = g.AddVertex(Payload(2, 100));
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+
+  const GraphRunResult result = RunGraph(GraphConfig(), g);
+  EXPECT_EQ(result.completed_vertices, 3u);
+  EXPECT_EQ(result.discarded_vertices, 0u);
+  // Three dependent 100-tick tasks cannot finish faster than 300 ticks.
+  EXPECT_GE(result.makespan, 300);
+}
+
+TEST(GraphSession, ParallelFanOutOverlaps) {
+  // One root releasing W independent children: with enough nodes the
+  // children overlap, so makespan ~ root + child, not root + W * child.
+  workload::TaskGraph g;
+  const auto root = g.AddVertex(Payload(0, 100));
+  for (int i = 0; i < 6; ++i) {
+    const auto child = g.AddVertex(Payload(1, 100));
+    g.AddEdge(root, child);
+  }
+  const GraphRunResult result = RunGraph(GraphConfig(30), g);
+  EXPECT_EQ(result.completed_vertices, 7u);
+  EXPECT_LT(result.makespan, 100 + 6 * 100);
+}
+
+TEST(GraphSession, CyclicGraphThrows) {
+  workload::TaskGraph g;
+  const auto a = g.AddVertex(Payload(0, 100));
+  const auto b = g.AddVertex(Payload(1, 100));
+  g.AddEdge(a, b);
+  g.AddEdge(b, a);
+  EXPECT_THROW((void)RunGraph(GraphConfig(), g), std::runtime_error);
+}
+
+TEST(GraphSession, EmptyGraph) {
+  const workload::TaskGraph g;
+  const GraphRunResult result = RunGraph(GraphConfig(), g);
+  EXPECT_EQ(result.completed_vertices, 0u);
+  EXPECT_EQ(result.makespan, 0);
+}
+
+TEST(GraphSession, DiscardedVertexStrandsSuccessors) {
+  // The middle vertex needs more area than any node or configuration can
+  // provide: it is discarded, and its successor never becomes runnable.
+  workload::TaskGraph g;
+  const auto a = g.AddVertex(Payload(0, 50));
+  workload::GeneratedTask impossible;
+  impossible.preferred_config = ConfigId::invalid();
+  impossible.needed_area = 1000000;
+  impossible.required_time = 50;
+  const auto b = g.AddVertex(impossible);
+  const auto c = g.AddVertex(Payload(1, 50));
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+
+  const GraphRunResult result = RunGraph(GraphConfig(), g);
+  EXPECT_EQ(result.completed_vertices, 1u);
+  EXPECT_EQ(result.discarded_vertices, 2u);  // b discarded + c stranded
+}
+
+TEST(GraphSession, LayeredGraphCompletes) {
+  Rng rng(9);
+  SimulationConfig config = GraphConfig(20, 9);
+  // Build the catalogue exactly like the simulator will (same sub-seed),
+  // so vertex payloads reference valid configurations.
+  workload::GraphGenParams params;
+  params.layers = 4;
+  params.width = 5;
+  params.task_params.min_required_time = 50;
+  params.task_params.max_required_time = 200;
+  params.task_params.closest_match_fraction = 0.0;
+  resource::ConfigGenParams cfg_params = config.configs;
+  Rng cfg_rng(DeriveSeed(config.seed, 2));
+  const auto catalogue = resource::ConfigCatalogue::Generate(
+      cfg_params, ptype::Catalogue::Default(), cfg_rng);
+  const workload::TaskGraph g =
+      workload::GenerateLayeredGraph(params, catalogue, rng);
+
+  const GraphRunResult result = RunGraph(config, g);
+  EXPECT_EQ(result.completed_vertices + result.discarded_vertices, 20u);
+  EXPECT_GT(result.completed_vertices, 15u);  // most should complete
+  EXPECT_GT(result.makespan, 0);
+}
+
+TEST(GraphSession, MetricsCoverGraphTasks) {
+  workload::TaskGraph g;
+  const auto a = g.AddVertex(Payload(0, 100));
+  const auto b = g.AddVertex(Payload(1, 100));
+  g.AddEdge(a, b);
+  const GraphRunResult result = RunGraph(GraphConfig(), g);
+  EXPECT_EQ(result.metrics.total_tasks, 2u);
+  EXPECT_EQ(result.metrics.completed_tasks, 2u);
+}
+
+}  // namespace
+}  // namespace dreamsim::core

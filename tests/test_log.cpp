@@ -1,0 +1,77 @@
+// Tests for the process-global logger.
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dreamsim {
+namespace {
+
+struct Captured {
+  LogLevel level;
+  std::string message;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Log::SetSink([this](LogLevel level, std::string_view msg) {
+      captured_.push_back({level, std::string(msg)});
+    });
+    Log::SetLevel(LogLevel::kInfo);
+  }
+  void TearDown() override {
+    Log::SetSink(nullptr);
+    Log::SetLevel(LogLevel::kWarning);
+  }
+  std::vector<Captured> captured_;
+};
+
+TEST_F(LogTest, PassesMessagesAtOrAboveLevel) {
+  Log::Message(LogLevel::kInfo, "info {}", 1);
+  Log::Message(LogLevel::kError, "error");
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].message, "info 1");
+  EXPECT_EQ(captured_[1].level, LogLevel::kError);
+}
+
+TEST_F(LogTest, FiltersBelowLevel) {
+  Log::Message(LogLevel::kDebug, "hidden");
+  Log::Message(LogLevel::kTrace, "hidden");
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, LevelChangeTakesEffect) {
+  Log::SetLevel(LogLevel::kError);
+  Log::Message(LogLevel::kWarning, "hidden");
+  Log::SetLevel(LogLevel::kTrace);
+  Log::Message(LogLevel::kTrace, "visible");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].message, "visible");
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Log::SetLevel(LogLevel::kOff);
+  Log::Message(LogLevel::kError, "hidden");
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, MacroForwardsToSink) {
+  DREAMSIM_LOG(LogLevel::kInfo, "x={} y={}", 1, 2);
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].message, "x=1 y=2");
+}
+
+TEST(LogLevelNames, ToStringCoversAll) {
+  EXPECT_EQ(ToString(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(ToString(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(ToString(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(ToString(LogLevel::kWarning), "WARN");
+  EXPECT_EQ(ToString(LogLevel::kError), "ERROR");
+  EXPECT_EQ(ToString(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace dreamsim

@@ -1,0 +1,85 @@
+// Tests for the network model (t_comm of Eq. 8, bitstream distribution).
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dreamsim::net {
+namespace {
+
+resource::Node MakeNode(Tick delay, Bytes config_bw = 400) {
+  resource::Node n(NodeId{0}, 1000, FamilyId{0},
+                   resource::Caps{0, 0, config_bw});
+  n.set_network_delay(delay);
+  return n;
+}
+
+TEST(NetworkModel, DisabledBandwidthMeansLatencyOnly) {
+  NetworkModel net(NetworkParams{});
+  const auto node = MakeNode(0);
+  EXPECT_EQ(net.TransferTime(node, 100000), 0);
+}
+
+TEST(NetworkModel, NodeDelayAdds) {
+  NetworkModel net(NetworkParams{});
+  const auto node = MakeNode(7);
+  EXPECT_EQ(net.TransferTime(node, 0), 7);
+}
+
+TEST(NetworkModel, SerializationCeilingDivision) {
+  NetworkParams params;
+  params.bytes_per_tick = 100;
+  NetworkModel net(params);
+  const auto node = MakeNode(0);
+  EXPECT_EQ(net.TransferTime(node, 100), 1);
+  EXPECT_EQ(net.TransferTime(node, 101), 2);
+  EXPECT_EQ(net.TransferTime(node, 0), 0);
+}
+
+TEST(NetworkModel, BaseLatencyAdds) {
+  NetworkParams params;
+  params.bytes_per_tick = 100;
+  params.base_latency = 5;
+  NetworkModel net(params);
+  const auto node = MakeNode(3);
+  EXPECT_EQ(net.TransferTime(node, 200), 5 + 3 + 2);
+}
+
+TEST(NetworkModel, BitstreamUsesNodeConfigPortWhenPayloadBandwidthOff) {
+  NetworkModel net(NetworkParams{});
+  const auto node = MakeNode(0, /*config_bw=*/500);
+  EXPECT_EQ(net.BitstreamTime(node, 1000), 2);
+}
+
+TEST(NetworkModel, BitstreamPrefersPayloadBandwidthWhenSet) {
+  NetworkParams params;
+  params.bytes_per_tick = 100;
+  NetworkModel net(params);
+  const auto node = MakeNode(0, /*config_bw=*/10000);
+  EXPECT_EQ(net.BitstreamTime(node, 1000), 10);
+}
+
+TEST(NetworkModel, JitterBoundedAndDeterministic) {
+  NetworkParams params;
+  params.max_jitter = 5;
+  NetworkModel a(params, /*jitter_seed=*/9);
+  NetworkModel b(params, /*jitter_seed=*/9);
+  const auto node = MakeNode(0);
+  for (int i = 0; i < 100; ++i) {
+    const Tick ta = a.TransferTime(node, 0);
+    const Tick tb = b.TransferTime(node, 0);
+    EXPECT_EQ(ta, tb);
+    EXPECT_GE(ta, 0);
+    EXPECT_LE(ta, 5);
+  }
+}
+
+TEST(NetworkModel, AccountsBytesTransferred) {
+  NetworkModel net(NetworkParams{});
+  const auto node = MakeNode(0);
+  (void)net.TransferTime(node, 100);
+  (void)net.BitstreamTime(node, 50);
+  EXPECT_EQ(net.bytes_transferred(), 150);
+}
+
+}  // namespace
+}  // namespace dreamsim::net

@@ -1,0 +1,145 @@
+// Tests for the processor-type catalogue and its cost models.
+#include "ptype/catalogue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dreamsim::ptype {
+namespace {
+
+TEST(AreaModels, MonotonicInSize) {
+  EXPECT_LT(MultiplierArea(16), MultiplierArea(32));
+  EXPECT_LT(MultiplierArea(32), MultiplierArea(64));
+  EXPECT_LT(SystolicArea(4, 4), SystolicArea(8, 8));
+  EXPECT_LT(DspPipelineArea(32, 16), DspPipelineArea(64, 16));
+  EXPECT_LT(DspPipelineArea(64, 16), DspPipelineArea(64, 24));
+}
+
+TEST(AreaModels, AlwaysPositive) {
+  EXPECT_GT(MultiplierArea(1), 0);
+  EXPECT_GT(SystolicArea(1, 1), 0);
+  EXPECT_GT(DspPipelineArea(1, 1), 0);
+  EXPECT_GT(VliwArea(VliwParams{1, 1, 0, 0, 1}), 0);
+}
+
+TEST(VliwArea, GrowsWithEveryParameter) {
+  const VliwParams base{4, 4, 2, 1, 1};
+  const Area base_area = VliwArea(base);
+
+  VliwParams wider = base;
+  wider.issue_width = 8;
+  EXPECT_GT(VliwArea(wider), base_area);
+
+  VliwParams more_alus = base;
+  more_alus.alus = 8;
+  EXPECT_GT(VliwArea(more_alus), base_area);
+
+  VliwParams more_mults = base;
+  more_mults.multipliers = 4;
+  EXPECT_GT(VliwArea(more_mults), base_area);
+
+  VliwParams more_mem = base;
+  more_mem.memory_slots = 3;
+  EXPECT_GT(VliwArea(more_mem), base_area);
+
+  VliwParams clustered = base;
+  clustered.clusters = 2;
+  EXPECT_EQ(VliwArea(clustered), 2 * base_area);
+}
+
+TEST(BitstreamModel, LinearInArea) {
+  const Bytes small = BitstreamSize(100);
+  const Bytes large = BitstreamSize(200);
+  EXPECT_GT(large, small);
+  EXPECT_EQ(large - small, 96 * 100);
+}
+
+TEST(ConfigTimeModel, CeilingDivision) {
+  EXPECT_EQ(ConfigTimeFromBitstream(1000, 100), 10);
+  EXPECT_EQ(ConfigTimeFromBitstream(1001, 100), 11);
+  EXPECT_EQ(ConfigTimeFromBitstream(1, 100), 1);
+}
+
+TEST(ConfigTimeModel, DegenerateBandwidth) {
+  EXPECT_EQ(ConfigTimeFromBitstream(1000, 0), 1);
+  EXPECT_EQ(ConfigTimeFromBitstream(0, 100), 1);  // at least one tick
+}
+
+TEST(Catalogue, RegisterAssignsSequentialIds) {
+  Catalogue c;
+  const PtypeId a = c.AddMultiplier("m32", 32);
+  const PtypeId b = c.AddSignalProcessor("sp", 500);
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.Get(a).name, "m32");
+  EXPECT_EQ(c.Get(b).area, 500);
+}
+
+TEST(Catalogue, GetRejectsUnknownIds) {
+  Catalogue c;
+  EXPECT_THROW((void)c.Get(PtypeId{0}), std::out_of_range);
+  EXPECT_THROW((void)c.Get(PtypeId::invalid()), std::out_of_range);
+}
+
+TEST(Catalogue, FindByName) {
+  Catalogue c = Catalogue::Default();
+  const auto id = c.FindByName("rvex_4issue");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(c.Get(*id).kind, PtypeKind::kSoftCoreVliw);
+  EXPECT_FALSE(c.FindByName("nonexistent").has_value());
+}
+
+TEST(Catalogue, ParamLookup) {
+  Catalogue c;
+  const PtypeId id = c.AddVliw("v", VliwParams{8, 8, 4, 2, 1});
+  const Ptype& t = c.Get(id);
+  EXPECT_EQ(t.Param("issue_width"), 8);
+  EXPECT_EQ(t.Param("memory_slots"), 2);
+  EXPECT_EQ(t.Param("missing", -1), -1);
+}
+
+TEST(Catalogue, DefaultCatalogueSpansTableIIAreaRange) {
+  const Catalogue c = Catalogue::Default();
+  ASSERT_GE(c.size(), 8u);
+  Area min_area = c.all().front().area;
+  Area max_area = min_area;
+  for (const Ptype& t : c.all()) {
+    EXPECT_GT(t.area, 0);
+    min_area = std::min(min_area, t.area);
+    max_area = std::max(max_area, t.area);
+  }
+  // Spread should roughly cover the paper's configuration range.
+  EXPECT_LT(min_area, 500);
+  EXPECT_GT(max_area, 1200);
+}
+
+TEST(Catalogue, SampleIsUniformish) {
+  const Catalogue c = Catalogue::Default();
+  Rng rng(5);
+  std::vector<int> counts(c.size(), 0);
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[c.Sample(rng).value()];
+  }
+  const double expected = static_cast<double>(draws) / c.size();
+  for (const int count : counts) {
+    EXPECT_NEAR(count, expected, expected * 0.25);
+  }
+}
+
+TEST(Catalogue, SampleEmptyThrows) {
+  Catalogue c;
+  Rng rng(1);
+  EXPECT_THROW((void)c.Sample(rng), std::logic_error);
+}
+
+TEST(PtypeKindNames, AllDistinct) {
+  EXPECT_EQ(ToString(PtypeKind::kMultiplier), "multiplier");
+  EXPECT_EQ(ToString(PtypeKind::kSystolicArray), "systolic-array");
+  EXPECT_EQ(ToString(PtypeKind::kDspPipeline), "dsp-pipeline");
+  EXPECT_EQ(ToString(PtypeKind::kSignalProcessor), "signal-processor");
+  EXPECT_EQ(ToString(PtypeKind::kSoftCoreVliw), "soft-core-vliw");
+}
+
+}  // namespace
+}  // namespace dreamsim::ptype

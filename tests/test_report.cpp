@@ -1,0 +1,116 @@
+// Tests for report rendering: XML, CSV, and console tables.
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/simulator.hpp"
+#include "util/csv.hpp"
+
+namespace dreamsim::core {
+namespace {
+
+MetricsReport SampleReport() {
+  SimulationConfig config;
+  config.nodes.count = 10;
+  config.configs.count = 8;
+  config.tasks.total_tasks = 150;
+  config.label = "sample";
+  Simulator sim(std::move(config));
+  return sim.Run();
+}
+
+TEST(XmlReport, WellFormedAndComplete) {
+  const MetricsReport report = SampleReport();
+  std::ostringstream out;
+  WriteXmlReport(out, report);
+  const std::string doc = out.str();
+
+  EXPECT_NE(doc.find("<?xml version=\"1.0\""), std::string::npos);
+  EXPECT_NE(doc.find("<dreamsim-report"), std::string::npos);
+  EXPECT_NE(doc.find("</dreamsim-report>"), std::string::npos);
+  // Every Table I metric appears.
+  for (const char* element :
+       {"avg-wasted-area-per-task", "avg-task-running-time",
+        "avg-reconfig-count-per-node", "avg-config-time-per-task",
+        "avg-waiting-time-per-task", "avg-scheduling-steps-per-task",
+        "total-scheduler-workload", "total-used-nodes",
+        "total-simulation-time"}) {
+    EXPECT_NE(doc.find(element), std::string::npos) << element;
+  }
+  // Open/close tags balance for the nested sections.
+  for (const char* section : {"system", "tasks", "metrics", "diagnostics"}) {
+    EXPECT_NE(doc.find(std::string("<") + section), std::string::npos);
+    EXPECT_NE(doc.find(std::string("</") + section + ">"), std::string::npos);
+  }
+}
+
+TEST(CsvReport, HeaderMatchesRows) {
+  const MetricsReport report = SampleReport();
+  EXPECT_EQ(CsvReportHeader().size(), CsvReportRow(report).size());
+}
+
+TEST(CsvReport, RoundTripsThroughCsvReader) {
+  const MetricsReport report = SampleReport();
+  std::stringstream buffer;
+  WriteCsvReports(buffer, {report, report});
+  const CsvTable table = CsvRead(buffer);
+  ASSERT_EQ(table.rows.size(), 2u);
+  const std::size_t col = table.ColumnIndex("total_tasks");
+  ASSERT_NE(col, CsvTable::npos);
+  EXPECT_EQ(table.rows[0][col], "150");
+}
+
+TEST(ConsoleReport, ContainsTableIMetricNames) {
+  const MetricsReport report = SampleReport();
+  const std::string table = RenderReportTable(report);
+  EXPECT_NE(table.find("avg wasted area per task"), std::string::npos);
+  EXPECT_NE(table.find("total scheduler workload"), std::string::npos);
+  EXPECT_NE(table.find("sample"), std::string::npos);
+}
+
+TEST(ComparisonTable, OneColumnPerReport) {
+  MetricsReport a = SampleReport();
+  a.label = "full";
+  MetricsReport b = a;
+  b.label = "partial";
+  const std::string table = RenderComparisonTable({a, b});
+  EXPECT_NE(table.find("full"), std::string::npos);
+  EXPECT_NE(table.find("partial"), std::string::npos);
+  EXPECT_NE(table.find("total discarded tasks"), std::string::npos);
+}
+
+TEST(MetricsEnums, PolicyChoiceNames) {
+  EXPECT_EQ(ToString(PolicyChoice::kDreamSim), "dreamsim");
+  EXPECT_EQ(ToString(PolicyChoice::kBestFit), "best-fit");
+  EXPECT_EQ(ToString(WasteAccounting::kOnSchedule), "on-schedule");
+  EXPECT_EQ(ToString(WasteAccounting::kIdleConfigured), "idle-configured");
+}
+
+TEST(MetricsReport, EquationTenDecomposition) {
+  // Eq. 10: total configuration time = sum over configure events; the
+  // per-task average must equal total / tasks.
+  const MetricsReport r = SampleReport();
+  EXPECT_NEAR(r.avg_config_time_per_task,
+              static_cast<double>(r.total_configuration_time) /
+                  static_cast<double>(r.total_tasks),
+              1e-9);
+}
+
+TEST(MetricsReport, WorkloadDecomposition) {
+  const MetricsReport r = SampleReport();
+  EXPECT_EQ(r.total_scheduler_workload,
+            r.scheduling_steps_total + r.housekeeping_steps_total);
+}
+
+TEST(MetricsReport, PlacementsSumToCompletedOrLess) {
+  const MetricsReport r = SampleReport();
+  std::uint64_t placements = 0;
+  for (const std::uint64_t p : r.placements_by_kind) placements += p;
+  // Every completed task was placed exactly once.
+  EXPECT_EQ(placements, r.completed_tasks);
+}
+
+}  // namespace
+}  // namespace dreamsim::core

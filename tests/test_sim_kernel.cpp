@@ -1,0 +1,181 @@
+// Tests for the discrete-event kernel, event queue, and clock.
+#include "sim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dreamsim::sim {
+namespace {
+
+TEST(Clock, StartsAtZeroAndTicks) {
+  Clock c;
+  EXPECT_EQ(c.now(), 0);
+  c.IncreaseTimeTick();
+  c.IncreaseTimeTick();
+  EXPECT_EQ(c.now(), 2);
+  c.DecreaseTimeTick();
+  EXPECT_EQ(c.now(), 1);
+  c.AdvanceTo(100);
+  EXPECT_EQ(c.now(), 100);
+  c.Reset();
+  EXPECT_EQ(c.now(), 0);
+}
+
+TEST(EventQueue, OrdersByTick) {
+  EventQueue q;
+  std::vector<int> order;
+  (void)q.Push(30, EventPriority::kArrival, [&] { order.push_back(3); });
+  (void)q.Push(10, EventPriority::kArrival, [&] { order.push_back(1); });
+  (void)q.Push(20, EventPriority::kArrival, [&] { order.push_back(2); });
+  while (!q.empty()) q.Pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, PriorityBreaksTickTies) {
+  EventQueue q;
+  std::vector<int> order;
+  (void)q.Push(5, EventPriority::kArrival, [&] { order.push_back(2); });
+  (void)q.Push(5, EventPriority::kCompletion, [&] { order.push_back(1); });
+  (void)q.Push(5, EventPriority::kHousekeeping, [&] { order.push_back(3); });
+  while (!q.empty()) q.Pop().action();
+  // Completions run before arrivals before housekeeping within a tick.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SequenceBreaksRemainingTies) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    (void)q.Push(1, EventPriority::kArrival, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().action();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventHandle h =
+      q.Push(1, EventPriority::kArrival, [&] { order.push_back(1); });
+  (void)q.Push(2, EventPriority::kArrival, [&] { order.push_back(2); });
+  EXPECT_TRUE(q.Cancel(h));
+  EXPECT_FALSE(q.Cancel(h));  // second cancel is a no-op
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.Pop().action();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, NextTickSkipsCancelled) {
+  EventQueue q;
+  const EventHandle h = q.Push(1, EventPriority::kArrival, [] {});
+  (void)q.Push(9, EventPriority::kArrival, [] {});
+  (void)q.Cancel(h);
+  EXPECT_EQ(q.next_tick(), 9);
+}
+
+TEST(Kernel, RunsEventsInOrderAndAdvancesClock) {
+  Kernel k;
+  std::vector<Tick> seen;
+  (void)k.ScheduleAt(10, EventPriority::kArrival, [&] { seen.push_back(k.now()); });
+  (void)k.ScheduleAt(5, EventPriority::kArrival, [&] { seen.push_back(k.now()); });
+  const auto executed = k.Run();
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(seen, (std::vector<Tick>{5, 10}));
+  EXPECT_EQ(k.now(), 10);
+}
+
+TEST(Kernel, ScheduleAfterIsRelative) {
+  Kernel k;
+  Tick observed = -1;
+  (void)k.ScheduleAt(7, EventPriority::kArrival, [&] {
+    (void)k.ScheduleAfter(3, EventPriority::kArrival,
+                          [&] { observed = k.now(); });
+  });
+  (void)k.Run();
+  EXPECT_EQ(observed, 10);
+}
+
+TEST(Kernel, RejectsPastAndNegative) {
+  Kernel k;
+  (void)k.ScheduleAt(5, EventPriority::kArrival, [] {});
+  (void)k.Run();
+  EXPECT_THROW((void)k.ScheduleAt(4, EventPriority::kArrival, [] {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)k.ScheduleAfter(-1, EventPriority::kArrival, [] {}),
+               std::invalid_argument);
+}
+
+TEST(Kernel, HorizonStopsExecution) {
+  Kernel k;
+  int ran = 0;
+  (void)k.ScheduleAt(5, EventPriority::kArrival, [&] { ++ran; });
+  (void)k.ScheduleAt(50, EventPriority::kArrival, [&] { ++ran; });
+  (void)k.Run(/*horizon=*/10);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(k.pending_events(), 1u);
+  (void)k.Run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Kernel, EventsCanScheduleEvents) {
+  Kernel k;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) {
+      (void)k.ScheduleAfter(1, EventPriority::kArrival, step);
+    }
+  };
+  (void)k.ScheduleAt(0, EventPriority::kArrival, step);
+  (void)k.Run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(k.now(), 4);
+}
+
+TEST(Kernel, RequestStopHaltsLoop) {
+  Kernel k;
+  int ran = 0;
+  (void)k.ScheduleAt(1, EventPriority::kArrival, [&] {
+    ++ran;
+    k.RequestStop();
+  });
+  (void)k.ScheduleAt(2, EventPriority::kArrival, [&] { ++ran; });
+  (void)k.Run();
+  EXPECT_EQ(ran, 1);
+  (void)k.Run();  // resumes
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Kernel, CancelPreventsExecution) {
+  Kernel k;
+  int ran = 0;
+  const EventHandle h =
+      k.ScheduleAt(5, EventPriority::kArrival, [&] { ++ran; });
+  EXPECT_TRUE(k.Cancel(h));
+  (void)k.Run();
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(Kernel, ResetClearsState) {
+  Kernel k;
+  (void)k.ScheduleAt(5, EventPriority::kArrival, [] {});
+  k.Reset();
+  EXPECT_TRUE(k.idle());
+  EXPECT_EQ(k.now(), 0);
+  EXPECT_EQ(k.executed_events(), 0u);
+}
+
+TEST(Kernel, StepExecutesSingleEvent) {
+  Kernel k;
+  int ran = 0;
+  (void)k.ScheduleAt(1, EventPriority::kArrival, [&] { ++ran; });
+  (void)k.ScheduleAt(2, EventPriority::kArrival, [&] { ++ran; });
+  EXPECT_TRUE(k.Step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(k.Step());
+  EXPECT_FALSE(k.Step());
+  EXPECT_EQ(ran, 2);
+}
+
+}  // namespace
+}  // namespace dreamsim::sim

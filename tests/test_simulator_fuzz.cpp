@@ -1,0 +1,122 @@
+// Property sweep over the whole simulator: for a grid of (seed, mode,
+// policy, extensions) the end state must satisfy the global invariants —
+// every task terminal, every structure consistent, every metric sane.
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "util/fmt.hpp"
+
+namespace dreamsim::core {
+namespace {
+
+struct FuzzPoint {
+  std::uint64_t seed;
+  sched::ReconfigMode mode;
+  PolicyChoice policy;
+  bool contiguous;
+  bool ship_bitstreams;
+  int families;
+  std::size_t queue_capacity;
+};
+
+std::string PrintPoint(const ::testing::TestParamInfo<FuzzPoint>& info) {
+  const FuzzPoint& p = info.param;
+  std::string name = Format("seed{}_{}_{}_{}{}f{}q{}", p.seed,
+                            sched::ToString(p.mode), ToString(p.policy),
+                            p.contiguous ? "ctg_" : "",
+                            p.ship_bitstreams ? "ship_" : "", p.families,
+                            p.queue_capacity);
+  // gtest parameter names must be [A-Za-z0-9_].
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+class SimulatorFuzz : public ::testing::TestWithParam<FuzzPoint> {};
+
+TEST_P(SimulatorFuzz, GlobalInvariantsHold) {
+  const FuzzPoint& p = GetParam();
+  SimulationConfig config;
+  config.nodes.count = 15;
+  config.nodes.contiguous_placement = p.contiguous;
+  config.nodes.family_count = p.families;
+  config.configs.count = 8;
+  config.configs.family_count = p.families;
+  config.tasks.total_tasks = 400;
+  config.seed = p.seed;
+  config.mode = p.mode;
+  config.policy = p.policy;
+  config.ship_bitstreams = p.ship_bitstreams;
+  config.bitstream_cache_capacity = p.ship_bitstreams ? 500'000 : 0;
+  config.network.bytes_per_tick = p.ship_bitstreams ? 1000 : 0;
+  config.suspension_capacity = p.queue_capacity;
+
+  Simulator sim(std::move(config));
+  const MetricsReport report = sim.Run();
+
+  // Conservation: every generated task reached a terminal state.
+  EXPECT_EQ(report.total_tasks, 400u);
+  EXPECT_EQ(report.completed_tasks + report.discarded_tasks, 400u);
+
+  // Structures: Fig. 3 lists, Eq. 4 accounting, layouts.
+  const auto violations = sim.store().ValidateConsistency();
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front());
+
+  // Nothing left running and no dangling events.
+  for (const resource::Node& n : sim.store().nodes()) {
+    EXPECT_FALSE(n.busy());
+  }
+  EXPECT_TRUE(sim.kernel().idle());
+
+  // Metric sanity.
+  EXPECT_GE(report.avg_waiting_time_per_task, 0.0);
+  EXPECT_GE(report.avg_wasted_area_per_task, 0.0);
+  EXPECT_EQ(report.total_scheduler_workload,
+            report.scheduling_steps_total + report.housekeeping_steps_total);
+  std::uint64_t placements = 0;
+  for (const std::uint64_t count : report.placements_by_kind) {
+    placements += count;
+  }
+  EXPECT_EQ(placements, report.completed_tasks);
+
+  // Completed tasks carry coherent records.
+  for (const resource::Task& t : sim.tasks().all()) {
+    if (t.state != resource::TaskState::kCompleted) continue;
+    EXPECT_GE(t.start_time, t.create_time);
+    EXPECT_GE(t.completion_time, t.start_time + t.required_time);
+    EXPECT_TRUE(t.assigned_config.valid());
+  }
+}
+
+std::vector<FuzzPoint> MakeGrid() {
+  std::vector<FuzzPoint> points;
+  const PolicyChoice policies[] = {PolicyChoice::kDreamSim,
+                                   PolicyChoice::kBestFit,
+                                   PolicyChoice::kRoundRobin};
+  std::uint64_t seed = 100;
+  for (const auto mode :
+       {sched::ReconfigMode::kFull, sched::ReconfigMode::kPartial}) {
+    for (const PolicyChoice policy : policies) {
+      // Heuristic policies always use partial semantics; skip redundant
+      // full-mode variants for them.
+      if (mode == sched::ReconfigMode::kFull &&
+          policy != PolicyChoice::kDreamSim) {
+        continue;
+      }
+      points.push_back(FuzzPoint{seed++, mode, policy, false, false, 1, 0});
+      points.push_back(FuzzPoint{seed++, mode, policy, true, false, 1, 0});
+      points.push_back(FuzzPoint{seed++, mode, policy, false, true, 1, 0});
+      points.push_back(FuzzPoint{seed++, mode, policy, false, false, 3, 0});
+      points.push_back(FuzzPoint{seed++, mode, policy, true, true, 2, 64});
+    }
+  }
+  return points;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SimulatorFuzz, ::testing::ValuesIn(MakeGrid()),
+                         PrintPoint);
+
+}  // namespace
+}  // namespace dreamsim::core

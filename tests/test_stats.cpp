@@ -1,0 +1,152 @@
+// Tests for the streaming statistics substrate.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dreamsim {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 5.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats all;
+  OnlineStats left;
+  OnlineStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.Add(x);
+    (i < 37 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.Add(1.0);
+  a.Add(3.0);
+  OnlineStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  OnlineStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-1.0);   // underflow
+  h.Add(0.0);    // bin 0
+  h.Add(1.9);    // bin 0
+  h.Add(2.0);    // bin 1
+  h.Add(9.99);   // bin 4
+  h.Add(10.0);   // overflow
+  h.Add(100.0);  // overflow
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(2), 0u);
+  EXPECT_EQ(h.bin(4), 1u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, BinLowerEdges) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(2), 15.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(4), 20.0);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.0), 0.5, 1.0);
+}
+
+TEST(Histogram, AsciiRenderingContainsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(0.6);
+  h.Add(1.5);
+  const std::string ascii = h.ToAscii(10);
+  EXPECT_NE(ascii.find("2"), std::string::npos);
+  EXPECT_NE(ascii.find("#"), std::string::npos);
+}
+
+TEST(TimeWeightedValue, ConstantSignal) {
+  TimeWeightedValue v;
+  v.Set(0, 5.0);
+  EXPECT_DOUBLE_EQ(v.AverageUntil(10), 5.0);
+  EXPECT_DOUBLE_EQ(v.IntegralUntil(10), 50.0);
+}
+
+TEST(TimeWeightedValue, StepSignal) {
+  TimeWeightedValue v;
+  v.Set(0, 0.0);
+  v.Set(10, 10.0);  // 0 for [0,10), 10 for [10,20)
+  EXPECT_DOUBLE_EQ(v.IntegralUntil(20), 100.0);
+  EXPECT_DOUBLE_EQ(v.AverageUntil(20), 5.0);
+}
+
+TEST(TimeWeightedValue, BeforeAnySample) {
+  TimeWeightedValue v;
+  EXPECT_DOUBLE_EQ(v.IntegralUntil(100), 0.0);
+  EXPECT_DOUBLE_EQ(v.AverageUntil(100), 0.0);
+}
+
+TEST(TimeWeightedValue, RepeatedSetsAtSameTick) {
+  TimeWeightedValue v;
+  v.Set(5, 1.0);
+  v.Set(5, 3.0);  // instantaneous override, zero-width segment
+  EXPECT_DOUBLE_EQ(v.IntegralUntil(15), 30.0);
+}
+
+}  // namespace
+}  // namespace dreamsim

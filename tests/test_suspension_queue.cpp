@@ -1,0 +1,113 @@
+// Tests for the suspension queue (SusList).
+#include "resource/suspension_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dreamsim::resource {
+namespace {
+
+TEST(SuspensionQueue, FifoOrder) {
+  SuspensionQueue q;
+  WorkloadMeter meter;
+  ASSERT_TRUE(q.Add(TaskId{1}, meter));
+  ASSERT_TRUE(q.Add(TaskId{2}, meter));
+  ASSERT_TRUE(q.Add(TaskId{3}, meter));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.tasks().front(), TaskId{1});
+  EXPECT_EQ(q.tasks().back(), TaskId{3});
+}
+
+TEST(SuspensionQueue, CapacityBound) {
+  SuspensionQueue q(2);
+  WorkloadMeter meter;
+  EXPECT_TRUE(q.Add(TaskId{1}, meter));
+  EXPECT_TRUE(q.Add(TaskId{2}, meter));
+  EXPECT_FALSE(q.Add(TaskId{3}, meter));  // overflow
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(SuspensionQueue, UnboundedByDefault) {
+  SuspensionQueue q;
+  WorkloadMeter meter;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.Add(TaskId{i}, meter));
+  }
+  EXPECT_EQ(q.size(), 1000u);
+}
+
+TEST(SuspensionQueue, PopFirstMatchingTakesOldest) {
+  SuspensionQueue q;
+  WorkloadMeter meter;
+  (void)q.Add(TaskId{1}, meter);
+  (void)q.Add(TaskId{2}, meter);
+  (void)q.Add(TaskId{3}, meter);
+  const auto popped = q.PopFirstMatching(
+      [](TaskId id) { return id.value() >= 2; }, meter);
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(*popped, TaskId{2});
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(SuspensionQueue, PopFirstMatchingNoneMatches) {
+  SuspensionQueue q;
+  WorkloadMeter meter;
+  (void)q.Add(TaskId{1}, meter);
+  const auto popped =
+      q.PopFirstMatching([](TaskId) { return false; }, meter);
+  EXPECT_FALSE(popped.has_value());
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(SuspensionQueue, PopChargesScanSteps) {
+  SuspensionQueue q;
+  WorkloadMeter meter;
+  for (std::uint32_t i = 0; i < 10; ++i) (void)q.Add(TaskId{i}, meter);
+  const Steps before = meter.housekeeping_steps_total();
+  (void)q.PopFirstMatching([](TaskId id) { return id.value() == 6; }, meter);
+  EXPECT_EQ(meter.housekeeping_steps_total() - before, 7u);
+}
+
+TEST(SuspensionQueue, ContainsScan) {
+  SuspensionQueue q;
+  WorkloadMeter meter;
+  (void)q.Add(TaskId{5}, meter);
+  EXPECT_TRUE(q.Contains(TaskId{5}, meter));
+  EXPECT_FALSE(q.Contains(TaskId{6}, meter));
+}
+
+TEST(SuspensionQueue, RemoveSpecificTask) {
+  SuspensionQueue q;
+  WorkloadMeter meter;
+  (void)q.Add(TaskId{1}, meter);
+  (void)q.Add(TaskId{2}, meter);
+  EXPECT_TRUE(q.Remove(TaskId{1}, meter));
+  EXPECT_FALSE(q.Remove(TaskId{1}, meter));
+  EXPECT_EQ(q.tasks().front(), TaskId{2});
+}
+
+TEST(SuspensionQueue, RemoveAtIndex) {
+  SuspensionQueue q;
+  WorkloadMeter meter;
+  (void)q.Add(TaskId{1}, meter);
+  (void)q.Add(TaskId{2}, meter);
+  (void)q.Add(TaskId{3}, meter);
+  q.RemoveAt(1, meter);
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.tasks()[0], TaskId{1});
+  EXPECT_EQ(q.tasks()[1], TaskId{3});
+}
+
+TEST(SuspensionQueue, PreservesFifoAcrossMixedOps) {
+  SuspensionQueue q;
+  WorkloadMeter meter;
+  for (std::uint32_t i = 0; i < 6; ++i) (void)q.Add(TaskId{i}, meter);
+  (void)q.Remove(TaskId{2}, meter);
+  q.RemoveAt(0, meter);
+  (void)q.Add(TaskId{9}, meter);
+  std::vector<std::uint32_t> order;
+  for (const TaskId id : q.tasks()) order.push_back(id.value());
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{1, 3, 4, 5, 9}));
+}
+
+}  // namespace
+}  // namespace dreamsim::resource

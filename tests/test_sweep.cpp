@@ -1,0 +1,90 @@
+// Tests for the experiment sweep driver.
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dreamsim::core {
+namespace {
+
+SweepParams SmallSweep() {
+  SweepParams params;
+  params.base.nodes.count = 8;
+  params.base.configs.count = 6;
+  params.base.seed = 5;
+  params.task_counts = {50, 100};
+  params.modes = {sched::ReconfigMode::kFull, sched::ReconfigMode::kPartial};
+  return params;
+}
+
+TEST(PaperTaskCounts, FullScale) {
+  const auto counts = PaperTaskCounts();
+  ASSERT_EQ(counts.size(), 11u);
+  EXPECT_EQ(counts.front(), 1000);
+  EXPECT_EQ(counts[1], 10000);
+  EXPECT_EQ(counts.back(), 100000);
+}
+
+TEST(PaperTaskCounts, ScaledDown) {
+  const auto counts = PaperTaskCounts(0.1);
+  EXPECT_EQ(counts.front(), 1000);  // floor at 1000
+  EXPECT_EQ(counts.back(), 10000);
+  // Duplicates collapse after flooring.
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_GT(counts[i], counts[i - 1]);
+  }
+}
+
+TEST(PaperTaskCounts, RejectsBadScale) {
+  EXPECT_THROW((void)PaperTaskCounts(0.0), std::invalid_argument);
+  EXPECT_THROW((void)PaperTaskCounts(1.5), std::invalid_argument);
+}
+
+TEST(RunSweep, ProducesModeMajorOrder) {
+  const auto reports = RunSweep(SmallSweep());
+  ASSERT_EQ(reports.size(), 4u);
+  EXPECT_EQ(reports[0].mode_name, "full");
+  EXPECT_EQ(reports[0].total_tasks, 50u);
+  EXPECT_EQ(reports[1].total_tasks, 100u);
+  EXPECT_EQ(reports[2].mode_name, "partial");
+  EXPECT_EQ(reports[3].total_tasks, 100u);
+}
+
+TEST(RunSweep, LabelsEncodeThePoint) {
+  const auto reports = RunSweep(SmallSweep());
+  EXPECT_NE(reports[0].label.find("full"), std::string::npos);
+  EXPECT_NE(reports[0].label.find("50"), std::string::npos);
+}
+
+TEST(RunSweep, ParallelMatchesSequential) {
+  SweepParams params = SmallSweep();
+  params.threads = 1;
+  const auto sequential = RunSweep(params);
+  params.threads = 4;
+  const auto parallel = RunSweep(params);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].total_scheduler_workload,
+              parallel[i].total_scheduler_workload);
+    EXPECT_EQ(sequential[i].total_simulation_time,
+              parallel[i].total_simulation_time);
+    EXPECT_DOUBLE_EQ(sequential[i].avg_waiting_time_per_task,
+                     parallel[i].avg_waiting_time_per_task);
+  }
+}
+
+TEST(RunSweep, SharedSeedAcrossModes) {
+  // The paper compares modes "for the same set of parameters in each
+  // simulation run": both modes must see the same workload.
+  const auto reports = RunSweep(SmallSweep());
+  EXPECT_EQ(reports[0].seed, reports[2].seed);
+  EXPECT_EQ(reports[0].total_tasks, reports[2].total_tasks);
+}
+
+TEST(RunSweep, EmptyGridYieldsNothing) {
+  SweepParams params = SmallSweep();
+  params.task_counts.clear();
+  EXPECT_TRUE(RunSweep(params).empty());
+}
+
+}  // namespace
+}  // namespace dreamsim::core

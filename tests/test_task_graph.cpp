@@ -1,0 +1,162 @@
+// Tests for task graphs (the implemented future-work extension).
+#include "workload/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ptype/catalogue.hpp"
+
+namespace dreamsim::workload {
+namespace {
+
+GeneratedTask Payload(Area area = 300, Tick required = 100) {
+  GeneratedTask t;
+  t.needed_area = area;
+  t.required_time = required;
+  return t;
+}
+
+TEST(TaskGraph, AddVertexAndEdges) {
+  TaskGraph g;
+  const VertexId a = g.AddVertex(Payload());
+  const VertexId b = g.AddVertex(Payload());
+  g.AddEdge(a, b);
+  EXPECT_EQ(g.size(), 2u);
+  ASSERT_EQ(g.vertex(b).predecessors.size(), 1u);
+  EXPECT_EQ(g.vertex(b).predecessors[0], a);
+  ASSERT_EQ(g.vertex(a).successors.size(), 1u);
+  EXPECT_EQ(g.vertex(a).successors[0], b);
+}
+
+TEST(TaskGraph, EdgeValidation) {
+  TaskGraph g;
+  const VertexId a = g.AddVertex(Payload());
+  EXPECT_THROW(g.AddEdge(a, a), std::invalid_argument);
+  EXPECT_THROW(g.AddEdge(a, 99), std::out_of_range);
+  EXPECT_THROW((void)g.vertex(99), std::out_of_range);
+}
+
+TEST(TaskGraph, RootsAreVerticesWithoutPredecessors) {
+  TaskGraph g;
+  const VertexId a = g.AddVertex(Payload());
+  const VertexId b = g.AddVertex(Payload());
+  const VertexId c = g.AddVertex(Payload());
+  g.AddEdge(a, c);
+  g.AddEdge(b, c);
+  const auto roots = g.Roots();
+  EXPECT_EQ(roots, (std::vector<VertexId>{a, b}));
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsEdges) {
+  TaskGraph g;
+  const VertexId a = g.AddVertex(Payload());
+  const VertexId b = g.AddVertex(Payload());
+  const VertexId c = g.AddVertex(Payload());
+  const VertexId d = g.AddVertex(Payload());
+  g.AddEdge(a, b);
+  g.AddEdge(a, c);
+  g.AddEdge(b, d);
+  g.AddEdge(c, d);
+  const auto order = g.TopologicalOrder();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[a], pos[b]);
+  EXPECT_LT(pos[a], pos[c]);
+  EXPECT_LT(pos[b], pos[d]);
+  EXPECT_LT(pos[c], pos[d]);
+}
+
+TEST(TaskGraph, CycleDetection) {
+  TaskGraph g;
+  const VertexId a = g.AddVertex(Payload());
+  const VertexId b = g.AddVertex(Payload());
+  const VertexId c = g.AddVertex(Payload());
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  EXPECT_TRUE(g.IsAcyclic());
+  g.AddEdge(c, a);
+  EXPECT_FALSE(g.IsAcyclic());
+  EXPECT_THROW((void)g.TopologicalOrder(), std::runtime_error);
+}
+
+TEST(TaskGraph, CriticalPathLength) {
+  TaskGraph g;
+  const VertexId a = g.AddVertex(Payload());
+  const VertexId b = g.AddVertex(Payload());
+  const VertexId c = g.AddVertex(Payload());
+  const VertexId d = g.AddVertex(Payload());
+  EXPECT_EQ(g.CriticalPathLength(), 1u);  // no edges: depth 1
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  EXPECT_EQ(g.CriticalPathLength(), 3u);
+  g.AddEdge(a, d);
+  EXPECT_EQ(g.CriticalPathLength(), 3u);  // parallel branch shorter
+}
+
+TEST(TaskGraph, ValidateFlagsBadPayloads) {
+  TaskGraph g;
+  (void)g.AddVertex(Payload(0, 100));   // bad area
+  (void)g.AddVertex(Payload(100, 0));   // bad time
+  const auto violations = g.Validate();
+  EXPECT_EQ(violations.size(), 2u);
+}
+
+TEST(TaskGraph, ValidateCleanGraph) {
+  TaskGraph g;
+  const VertexId a = g.AddVertex(Payload());
+  const VertexId b = g.AddVertex(Payload());
+  g.AddEdge(a, b);
+  EXPECT_TRUE(g.Validate().empty());
+}
+
+TEST(GenerateLayeredGraph, StructureAndAcyclicity) {
+  Rng rng(21);
+  resource::ConfigGenParams cfg_params;
+  cfg_params.count = 20;
+  const auto configs = resource::ConfigCatalogue::Generate(
+      cfg_params, ptype::Catalogue::Default(), rng);
+
+  GraphGenParams params;
+  params.layers = 5;
+  params.width = 6;
+  params.edge_density = 0.4;
+  const TaskGraph g = GenerateLayeredGraph(params, configs, rng);
+  EXPECT_EQ(g.size(), 30u);
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_TRUE(g.Validate().empty());
+  // Every non-root vertex has at least one predecessor by construction.
+  for (VertexId v = static_cast<VertexId>(params.width); v < g.size(); ++v) {
+    EXPECT_FALSE(g.vertex(v).predecessors.empty()) << "vertex " << v;
+  }
+  // Critical path spans all layers.
+  EXPECT_EQ(g.CriticalPathLength(), 5u);
+  // Layer-0 vertices are exactly the roots.
+  EXPECT_EQ(g.Roots().size(), 6u);
+}
+
+TEST(GenerateLayeredGraph, RejectsBadParams) {
+  Rng rng(1);
+  resource::ConfigCatalogue empty;
+  GraphGenParams params;
+  params.layers = 0;
+  EXPECT_THROW((void)GenerateLayeredGraph(params, empty, rng),
+               std::invalid_argument);
+}
+
+TEST(GenerateLayeredGraph, PayloadReleaseTimesZeroed) {
+  Rng rng(22);
+  resource::ConfigGenParams cfg_params;
+  cfg_params.count = 5;
+  const auto configs = resource::ConfigCatalogue::Generate(
+      cfg_params, ptype::Catalogue::Default(), rng);
+  GraphGenParams params;
+  params.layers = 2;
+  params.width = 3;
+  const TaskGraph g = GenerateLayeredGraph(params, configs, rng);
+  for (VertexId v = 0; v < g.size(); ++v) {
+    EXPECT_EQ(g.vertex(v).task.create_time, 0);
+  }
+}
+
+}  // namespace
+}  // namespace dreamsim::workload

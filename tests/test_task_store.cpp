@@ -1,0 +1,90 @@
+// Tests for the Task model (Eq. 3) and its store.
+#include "resource/task.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dreamsim::resource {
+namespace {
+
+Task MakeTask(Area area = 500, Tick required = 1000) {
+  Task t;
+  t.preferred_config = ConfigId{0};
+  t.needed_area = area;
+  t.required_time = required;
+  return t;
+}
+
+TEST(TaskStore, CreateAssignsSequentialIds) {
+  TaskStore store;
+  const TaskId a = store.Create(MakeTask());
+  const TaskId b = store.Create(MakeTask());
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(TaskStore, CreateValidates) {
+  TaskStore store;
+  EXPECT_THROW((void)store.Create(MakeTask(500, 0)), std::invalid_argument);
+  EXPECT_THROW((void)store.Create(MakeTask(0, 100)), std::invalid_argument);
+}
+
+TEST(TaskStore, GetRejectsUnknownIds) {
+  TaskStore store;
+  EXPECT_THROW((void)store.Get(TaskId{0}), std::out_of_range);
+  EXPECT_THROW((void)store.Get(TaskId::invalid()), std::out_of_range);
+}
+
+TEST(TaskStore, MutationThroughGet) {
+  TaskStore store;
+  const TaskId id = store.Create(MakeTask());
+  store.Get(id).state = TaskState::kRunning;
+  EXPECT_EQ(store.Get(id).state, TaskState::kRunning);
+}
+
+TEST(TaskStore, CountInState) {
+  TaskStore store;
+  for (int i = 0; i < 5; ++i) (void)store.Create(MakeTask());
+  store.Get(TaskId{0}).state = TaskState::kCompleted;
+  store.Get(TaskId{1}).state = TaskState::kCompleted;
+  store.Get(TaskId{2}).state = TaskState::kDiscarded;
+  EXPECT_EQ(store.CountInState(TaskState::kCompleted), 2u);
+  EXPECT_EQ(store.CountInState(TaskState::kDiscarded), 1u);
+  EXPECT_EQ(store.CountInState(TaskState::kCreated), 2u);
+}
+
+TEST(Task, WaitingTimeEq8) {
+  Task t = MakeTask();
+  t.create_time = 100;
+  t.start_time = 150;
+  t.comm_time = 5;
+  t.config_wait = 12;
+  // Eq. 8: t_start - t_create + t_comm + t_config.
+  EXPECT_EQ(t.WaitingTime(), 67);
+}
+
+TEST(Task, TurnaroundTime) {
+  Task t = MakeTask();
+  t.create_time = 100;
+  t.completion_time = 450;
+  EXPECT_EQ(t.TurnaroundTime(), 350);
+}
+
+TEST(Task, DefaultStateIsCreated) {
+  const Task t = MakeTask();
+  EXPECT_EQ(t.state, TaskState::kCreated);
+  EXPECT_FALSE(t.assigned_config.valid());
+  EXPECT_FALSE(t.resolved_config.valid());
+  EXPECT_EQ(t.sus_retry, 0u);
+}
+
+TEST(TaskStateNames, AllCovered) {
+  EXPECT_EQ(ToString(TaskState::kCreated), "created");
+  EXPECT_EQ(ToString(TaskState::kSuspended), "suspended");
+  EXPECT_EQ(ToString(TaskState::kRunning), "running");
+  EXPECT_EQ(ToString(TaskState::kCompleted), "completed");
+  EXPECT_EQ(ToString(TaskState::kDiscarded), "discarded");
+}
+
+}  // namespace
+}  // namespace dreamsim::resource

@@ -1,0 +1,52 @@
+// Tests for the strong identifier types.
+#include "util/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace dreamsim {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, NodeId::invalid());
+}
+
+TEST(StrongId, ConstructedIsValid) {
+  NodeId id{5};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 5u);
+}
+
+TEST(StrongId, Comparisons) {
+  EXPECT_EQ(NodeId{3}, NodeId{3});
+  EXPECT_NE(NodeId{3}, NodeId{4});
+  EXPECT_LT(NodeId{3}, NodeId{4});
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, ConfigId>);
+  static_assert(!std::is_same_v<TaskId, PtypeId>);
+  static_assert(!std::is_convertible_v<NodeId, ConfigId>);
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<TaskId> set;
+  set.insert(TaskId{1});
+  set.insert(TaskId{2});
+  set.insert(TaskId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(TaskId{2}));
+}
+
+TEST(StrongId, StreamOutput) {
+  std::ostringstream out;
+  out << NodeId{7} << " " << NodeId::invalid();
+  EXPECT_EQ(out.str(), "7 <invalid>");
+}
+
+}  // namespace
+}  // namespace dreamsim

@@ -1,0 +1,141 @@
+// Tests for the XML report writer.
+#include "util/xml.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dreamsim {
+namespace {
+
+TEST(XmlEscape, EscapesSpecials) {
+  EXPECT_EQ(XmlEscape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+TEST(XmlWriter, Declaration) {
+  std::ostringstream out;
+  {
+    XmlWriter xml(out);
+    xml.Open("r");
+  }
+  EXPECT_NE(out.str().find("<?xml version=\"1.0\""), std::string::npos);
+}
+
+TEST(XmlWriter, NoDeclarationWhenDisabled) {
+  std::ostringstream out;
+  {
+    XmlWriter xml(out, /*emit_declaration=*/false);
+    xml.Open("r");
+  }
+  EXPECT_EQ(out.str().find("<?xml"), std::string::npos);
+}
+
+TEST(XmlWriter, SelfClosingEmptyElement) {
+  std::ostringstream out;
+  {
+    XmlWriter xml(out, false);
+    xml.Open("empty").Close();
+  }
+  EXPECT_EQ(out.str(), "<empty/>\n");
+}
+
+TEST(XmlWriter, NestedElements) {
+  std::ostringstream out;
+  {
+    XmlWriter xml(out, false);
+    xml.Open("a");
+    xml.Open("b");
+    xml.Element("c", "text");
+    xml.Close();
+    xml.Close();
+  }
+  EXPECT_EQ(out.str(), "<a>\n  <b>\n    <c>text</c>\n  </b>\n</a>\n");
+}
+
+TEST(XmlWriter, Attributes) {
+  std::ostringstream out;
+  {
+    XmlWriter xml(out, false);
+    xml.Open("r");
+    xml.Attribute("name", "x<y");
+    xml.Attribute("count", std::int64_t{42});
+    xml.Close();
+  }
+  EXPECT_EQ(out.str(), "<r name=\"x&lt;y\" count=\"42\"/>\n");
+}
+
+TEST(XmlWriter, AttributeAfterContentThrows) {
+  std::ostringstream out;
+  XmlWriter xml(out, false);
+  xml.Open("r");
+  xml.Element("child", "1");
+  EXPECT_THROW(xml.Attribute("late", "x"), std::logic_error);
+  xml.Finish();
+}
+
+TEST(XmlWriter, EscapedTextContent) {
+  std::ostringstream out;
+  {
+    XmlWriter xml(out, false);
+    xml.Element("v", "a&b");
+  }
+  EXPECT_EQ(out.str(), "<v>a&amp;b</v>\n");
+}
+
+TEST(XmlWriter, CloseWithoutOpenThrows) {
+  std::ostringstream out;
+  XmlWriter xml(out, false);
+  EXPECT_THROW(xml.Close(), std::logic_error);
+}
+
+TEST(XmlWriter, TextOutsideElementThrows) {
+  std::ostringstream out;
+  XmlWriter xml(out, false);
+  EXPECT_THROW(xml.Text("orphan"), std::logic_error);
+}
+
+TEST(XmlWriter, DestructorClosesOpenElements) {
+  std::ostringstream out;
+  {
+    XmlWriter xml(out, false);
+    xml.Open("a");
+    xml.Open("b");
+    xml.Element("leaf", std::int64_t{1});
+  }
+  const std::string doc = out.str();
+  EXPECT_NE(doc.find("</b>"), std::string::npos);
+  EXPECT_NE(doc.find("</a>"), std::string::npos);
+}
+
+TEST(XmlWriter, NumericElementOverloads) {
+  std::ostringstream out;
+  {
+    XmlWriter xml(out, false);
+    xml.Open("m");
+    xml.Element("i", std::int64_t{-3});
+    xml.Element("u", std::uint64_t{9});
+    xml.Element("d", 1.25);
+    xml.Close();
+  }
+  const std::string doc = out.str();
+  EXPECT_NE(doc.find("<i>-3</i>"), std::string::npos);
+  EXPECT_NE(doc.find("<u>9</u>"), std::string::npos);
+  EXPECT_NE(doc.find("<d>1.25</d>"), std::string::npos);
+}
+
+TEST(XmlWriter, DepthTracking) {
+  std::ostringstream out;
+  XmlWriter xml(out, false);
+  EXPECT_EQ(xml.depth(), 0u);
+  xml.Open("a");
+  xml.Open("b");
+  EXPECT_EQ(xml.depth(), 2u);
+  xml.Close();
+  EXPECT_EQ(xml.depth(), 1u);
+  xml.Finish();
+  EXPECT_EQ(xml.depth(), 0u);
+}
+
+}  // namespace
+}  // namespace dreamsim

@@ -1,0 +1,322 @@
+// dreamsim — command-line front end for the DReAMSim simulator.
+//
+// Single runs, full-vs-partial comparisons, and task-count sweeps from one
+// binary, with every Table II parameter exposed as a flag and reports in
+// console/CSV/XML form. Examples:
+//
+//   dreamsim                                  # one Table II run, console report
+//   dreamsim --mode=full --tasks=20000        # one full-reconfiguration run
+//   dreamsim --compare --xml=report           # both modes + XML reports
+//   dreamsim --sweep --scale=0.2 --csv=out.csv
+//   dreamsim --trace-in=workload.csv          # replay an external trace
+//   dreamsim --policy=best-fit --contiguous   # baseline policy, fabric model
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "core/replication.hpp"
+#include "core/report.hpp"
+#include "core/simulator.hpp"
+#include "core/sweep.hpp"
+#include "rms/detail_report.hpp"
+#include "util/cli.hpp"
+#include "util/fmt.hpp"
+#include "util/log.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace dreamsim;
+
+std::optional<core::PolicyChoice> ParsePolicy(const std::string& name) {
+  for (const auto choice :
+       {core::PolicyChoice::kDreamSim, core::PolicyChoice::kFirstFit,
+        core::PolicyChoice::kBestFit, core::PolicyChoice::kWorstFit,
+        core::PolicyChoice::kRandomFit, core::PolicyChoice::kRoundRobin,
+        core::PolicyChoice::kLeastLoaded}) {
+    if (name == core::ToString(choice)) return choice;
+  }
+  return std::nullopt;
+}
+
+std::optional<core::WasteAccounting> ParseAccounting(const std::string& name) {
+  for (const auto accounting :
+       {core::WasteAccounting::kOnSchedule, core::WasteAccounting::kOnConfigure,
+        core::WasteAccounting::kTimeWeighted,
+        core::WasteAccounting::kIdleConfigured}) {
+    if (name == core::ToString(accounting)) return accounting;
+  }
+  return std::nullopt;
+}
+
+void RegisterFlags(CliParser& cli) {
+  // Resources (Table II).
+  cli.AddInt("nodes", 200, "number of reconfigurable nodes");
+  cli.AddInt("node-min-area", 1000, "node TotalArea lower bound");
+  cli.AddInt("node-max-area", 4000, "node TotalArea upper bound");
+  cli.AddInt("configs", 50, "number of processor configurations");
+  cli.AddInt("config-min-area", 200, "configuration ReqArea lower bound");
+  cli.AddInt("config-max-area", 2000, "configuration ReqArea upper bound");
+  cli.AddInt("config-time-min", 10, "t_config lower bound (ticks)");
+  cli.AddInt("config-time-max", 20, "t_config upper bound (ticks)");
+  // Workload (Table II).
+  cli.AddInt("tasks", 10000, "number of generated tasks");
+  cli.AddInt("interval-min", 1, "min inter-arrival gap (ticks)");
+  cli.AddInt("interval-max", 50, "max inter-arrival gap (ticks)");
+  cli.AddInt("time-min", 100, "min t_required (ticks)");
+  cli.AddInt("time-max", 100000, "max t_required (ticks)");
+  cli.AddDouble("closest-match", 0.15,
+                "fraction of tasks whose C_pref is not in the catalogue");
+  cli.AddDouble("closest-match-slowdown", 1.0,
+                "execution-time multiplier on closest-match configurations");
+  cli.AddInt("families", 1,
+             "device families (bitstream compatibility; 1 = universal)");
+  cli.AddString("arrivals", "uniform", "arrival process: uniform|poisson|constant");
+  // Scheduling.
+  cli.AddString("mode", "partial", "reconfiguration mode: partial|full");
+  cli.AddString("policy", "dreamsim",
+                "dreamsim|first-fit|best-fit|worst-fit|random-fit|"
+                "round-robin|least-loaded");
+  cli.AddInt("suspension-batch", 8, "policy re-runs per completion (0=all)");
+  cli.AddInt("max-retries", 0, "suspension retries before discard (0=inf)");
+  cli.AddInt("queue-capacity", 0, "suspension queue bound (0=unbounded)");
+  // Extensions.
+  cli.AddBool("contiguous", false, "contiguous-placement fabric model");
+  cli.AddString("placement", "first-fit",
+                "hole heuristic under --contiguous: first-fit|best-fit|worst-fit");
+  // Network.
+  cli.AddInt("net-bandwidth", 0, "payload bytes per tick (0 = no comm delay)");
+  cli.AddInt("net-latency", 0, "base link latency (ticks)");
+  cli.AddInt("net-jitter", 0, "max uniform jitter (ticks)");
+  // Metrics / output.
+  cli.AddString("waste-accounting", "on-schedule",
+                "on-schedule|on-configure|time-weighted|idle-configured");
+  cli.AddBool("monitoring", true, "event-driven utilization monitoring");
+  cli.AddString("csv", "", "write run/sweep rows to this CSV file");
+  cli.AddString("xml", "", "write XML report(s) with this path prefix");
+  cli.AddString("node-csv", "", "write the per-node detail report here");
+  cli.AddString("config-csv", "",
+                "write the per-configuration detail report here");
+  cli.AddInt("replications", 1,
+             "run N independent replications and report mean/ci95");
+  cli.AddString("trace-in", "", "replay this workload trace instead of generating");
+  cli.AddString("trace-out", "", "save the generated workload as a trace");
+  // Modes of operation.
+  cli.AddBool("compare", false, "run both reconfiguration modes side by side");
+  cli.AddBool("sweep", false, "task-count sweep (Fig. 6-10 style)");
+  cli.AddDouble("scale", 0.1, "sweep task-axis scale (1.0 = 1000..100000)");
+  cli.AddInt("threads", 0, "sweep worker threads (0 = hardware)");
+  // Misc.
+  cli.AddInt("seed", 42, "random seed");
+  cli.AddBool("verbose", false, "log scheduling decisions (very chatty)");
+}
+
+core::SimulationConfig BuildConfig(const CliParser& cli) {
+  core::SimulationConfig config;
+  config.nodes.count = static_cast<int>(cli.GetInt("nodes"));
+  config.nodes.min_area = cli.GetInt("node-min-area");
+  config.nodes.max_area = cli.GetInt("node-max-area");
+  config.nodes.contiguous_placement = cli.GetBool("contiguous");
+  config.configs.count = static_cast<int>(cli.GetInt("configs"));
+  config.configs.min_area = cli.GetInt("config-min-area");
+  config.configs.max_area = cli.GetInt("config-max-area");
+  config.configs.min_config_time = cli.GetInt("config-time-min");
+  config.configs.max_config_time = cli.GetInt("config-time-max");
+  config.tasks.total_tasks = static_cast<int>(cli.GetInt("tasks"));
+  config.tasks.min_interval = cli.GetInt("interval-min");
+  config.tasks.max_interval = cli.GetInt("interval-max");
+  config.tasks.min_required_time = cli.GetInt("time-min");
+  config.tasks.max_required_time = cli.GetInt("time-max");
+  config.tasks.closest_match_fraction = cli.GetDouble("closest-match");
+  config.tasks.unknown_min_area = config.configs.min_area;
+  config.tasks.unknown_max_area = config.configs.max_area;
+  config.closest_match_slowdown = cli.GetDouble("closest-match-slowdown");
+  config.nodes.family_count = static_cast<int>(cli.GetInt("families"));
+  config.configs.family_count = static_cast<int>(cli.GetInt("families"));
+  config.suspension_batch =
+      static_cast<std::size_t>(cli.GetInt("suspension-batch"));
+  config.max_suspension_retries =
+      static_cast<std::uint32_t>(cli.GetInt("max-retries"));
+  config.suspension_capacity =
+      static_cast<std::size_t>(cli.GetInt("queue-capacity"));
+  config.network.bytes_per_tick = cli.GetInt("net-bandwidth");
+  config.network.base_latency = cli.GetInt("net-latency");
+  config.network.max_jitter = cli.GetInt("net-jitter");
+  config.enable_monitoring = cli.GetBool("monitoring");
+  config.seed = static_cast<std::uint64_t>(cli.GetInt("seed"));
+
+  const std::string arrivals = cli.GetString("arrivals");
+  if (arrivals == "poisson") {
+    config.tasks.arrivals = workload::ArrivalProcess::kPoisson;
+  } else if (arrivals == "constant") {
+    config.tasks.arrivals = workload::ArrivalProcess::kConstant;
+  } else if (arrivals != "uniform") {
+    throw std::invalid_argument(Format("unknown arrival process '{}'", arrivals));
+  }
+
+  const std::string mode = cli.GetString("mode");
+  if (mode == "full") {
+    config.mode = sched::ReconfigMode::kFull;
+  } else if (mode != "partial") {
+    throw std::invalid_argument(Format("unknown mode '{}'", mode));
+  }
+
+  const auto policy = ParsePolicy(cli.GetString("policy"));
+  if (!policy) {
+    throw std::invalid_argument(
+        Format("unknown policy '{}'", cli.GetString("policy")));
+  }
+  config.policy = *policy;
+
+  const auto accounting = ParseAccounting(cli.GetString("waste-accounting"));
+  if (!accounting) {
+    throw std::invalid_argument(Format("unknown waste accounting '{}'",
+                                       cli.GetString("waste-accounting")));
+  }
+  config.waste_accounting = *accounting;
+
+  const std::string placement = cli.GetString("placement");
+  if (placement == "best-fit") {
+    config.nodes.placement = resource::Placement::kBestFit;
+  } else if (placement == "worst-fit") {
+    config.nodes.placement = resource::Placement::kWorstFit;
+  } else if (placement != "first-fit") {
+    throw std::invalid_argument(Format("unknown placement '{}'", placement));
+  }
+  return config;
+}
+
+void MaybeWriteXml(const CliParser& cli, const core::MetricsReport& report) {
+  const std::string prefix = cli.GetString("xml");
+  if (prefix.empty()) return;
+  const std::string path = Format("{}-{}.xml", prefix, report.mode_name);
+  std::ofstream out(path);
+  core::WriteXmlReport(out, report);
+  std::cout << "wrote " << path << "\n";
+}
+
+int RunSingleOrCompare(const CliParser& cli) {
+  std::vector<sched::ReconfigMode> modes;
+  if (cli.GetBool("compare")) {
+    modes = {sched::ReconfigMode::kFull, sched::ReconfigMode::kPartial};
+  } else {
+    modes = {BuildConfig(cli).mode};
+  }
+
+  // Optional trace replay: one workload shared by all runs.
+  std::optional<workload::Workload> trace;
+  const std::string trace_in = cli.GetString("trace-in");
+  if (!trace_in.empty()) {
+    trace = workload::ReadTraceFile(trace_in);
+    std::cout << "replaying " << trace->size() << " tasks from " << trace_in
+              << "\n";
+  }
+
+  std::vector<core::MetricsReport> reports;
+  for (const auto mode : modes) {
+    core::SimulationConfig config = BuildConfig(cli);
+    config.mode = mode;
+    config.label = std::string(sched::ToString(mode));
+
+    const std::string trace_out = cli.GetString("trace-out");
+    if (!trace && !trace_out.empty()) {
+      // Generate once, save, then replay the saved workload so the file is
+      // exactly what the simulation consumed.
+      Rng workload_rng(DeriveSeed(config.seed, 1));
+      Rng catalogue_rng(DeriveSeed(config.seed, 2));
+      const auto catalogue = resource::ConfigCatalogue::Generate(
+          config.configs, ptype::Catalogue::Default(), catalogue_rng);
+      trace = workload::GenerateWorkload(config.tasks, catalogue,
+                                         workload_rng);
+      workload::WriteTraceFile(trace_out, *trace);
+      std::cout << "wrote " << trace_out << "\n";
+    }
+
+    core::Simulator simulator(std::move(config));
+    reports.push_back(trace ? simulator.RunWithWorkload(*trace)
+                            : simulator.Run());
+    MaybeWriteXml(cli, reports.back());
+
+    const std::string node_csv = cli.GetString("node-csv");
+    if (!node_csv.empty()) {
+      std::ofstream out(Format("{}", node_csv));
+      rms::WriteNodeCsv(out, simulator.store());
+      std::cout << "wrote " << node_csv << "\n";
+    }
+    const std::string config_csv = cli.GetString("config-csv");
+    if (!config_csv.empty()) {
+      std::ofstream out(config_csv);
+      rms::WriteConfigCsv(out, simulator.store(),
+                          reports.back().placements_per_config);
+      std::cout << "wrote " << config_csv << "\n";
+    }
+  }
+
+  if (reports.size() == 1) {
+    std::cout << core::RenderReportTable(reports.front());
+  } else {
+    std::cout << core::RenderComparisonTable(reports);
+  }
+
+  const std::string csv_path = cli.GetString("csv");
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    core::WriteCsvReports(out, reports);
+    std::cout << "wrote " << csv_path << "\n";
+  }
+  return 0;
+}
+
+int RunSweepMode(const CliParser& cli) {
+  core::SweepParams params;
+  params.base = BuildConfig(cli);
+  params.base.enable_monitoring = false;
+  params.task_counts = core::PaperTaskCounts(cli.GetDouble("scale"));
+  params.modes = {sched::ReconfigMode::kFull, sched::ReconfigMode::kPartial};
+  params.threads = static_cast<unsigned>(cli.GetInt("threads"));
+
+  const auto reports = core::RunSweep(params);
+  std::cout << core::RenderComparisonTable(reports);
+
+  const std::string csv_path = cli.GetString("csv");
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    core::WriteCsvReports(out, reports);
+    std::cout << "wrote " << csv_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "dreamsim — task scheduling simulator for partially reconfigurable "
+      "processing elements (IPDPSW 2012 reproduction).");
+  RegisterFlags(cli);
+  if (!cli.Parse(argc, argv)) {
+    std::cerr << cli.error() << "\n";
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.HelpText();
+    return 0;
+  }
+  if (cli.GetBool("verbose")) Log::SetLevel(LogLevel::kDebug);
+
+  try {
+    if (cli.GetInt("replications") > 1) {
+      const auto replications =
+          static_cast<std::size_t>(cli.GetInt("replications"));
+      const core::ReplicationReport report = core::RunReplications(
+          BuildConfig(cli), replications,
+          static_cast<unsigned>(cli.GetInt("threads")));
+      std::cout << core::RenderReplicationTable(report);
+      return 0;
+    }
+    return cli.GetBool("sweep") ? RunSweepMode(cli) : RunSingleOrCompare(cli);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
