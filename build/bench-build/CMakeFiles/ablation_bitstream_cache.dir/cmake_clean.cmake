@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_bitstream_cache"
+  "../bench/ablation_bitstream_cache.pdb"
+  "CMakeFiles/ablation_bitstream_cache.dir/ablation_bitstream_cache.cpp.o"
+  "CMakeFiles/ablation_bitstream_cache.dir/ablation_bitstream_cache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bitstream_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

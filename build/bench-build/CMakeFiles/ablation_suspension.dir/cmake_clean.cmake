@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_suspension"
+  "../bench/ablation_suspension.pdb"
+  "CMakeFiles/ablation_suspension.dir/ablation_suspension.cpp.o"
+  "CMakeFiles/ablation_suspension.dir/ablation_suspension.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_suspension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

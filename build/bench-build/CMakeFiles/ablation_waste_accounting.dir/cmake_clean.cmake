@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_waste_accounting"
+  "../bench/ablation_waste_accounting.pdb"
+  "CMakeFiles/ablation_waste_accounting.dir/ablation_waste_accounting.cpp.o"
+  "CMakeFiles/ablation_waste_accounting.dir/ablation_waste_accounting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_waste_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_graph_scheduling"
+  "../bench/ext_graph_scheduling.pdb"
+  "CMakeFiles/ext_graph_scheduling.dir/ext_graph_scheduling.cpp.o"
+  "CMakeFiles/ext_graph_scheduling.dir/ext_graph_scheduling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_graph_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

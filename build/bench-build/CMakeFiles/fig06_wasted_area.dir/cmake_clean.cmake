@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_wasted_area"
+  "../bench/fig06_wasted_area.pdb"
+  "CMakeFiles/fig06_wasted_area.dir/fig06_wasted_area.cpp.o"
+  "CMakeFiles/fig06_wasted_area.dir/fig06_wasted_area.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_wasted_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

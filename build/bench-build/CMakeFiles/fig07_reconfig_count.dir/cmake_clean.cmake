@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_reconfig_count"
+  "../bench/fig07_reconfig_count.pdb"
+  "CMakeFiles/fig07_reconfig_count.dir/fig07_reconfig_count.cpp.o"
+  "CMakeFiles/fig07_reconfig_count.dir/fig07_reconfig_count.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_reconfig_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

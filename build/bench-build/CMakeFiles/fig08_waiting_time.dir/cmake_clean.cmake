@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_waiting_time"
+  "../bench/fig08_waiting_time.pdb"
+  "CMakeFiles/fig08_waiting_time.dir/fig08_waiting_time.cpp.o"
+  "CMakeFiles/fig08_waiting_time.dir/fig08_waiting_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_waiting_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_scheduler_effort"
+  "../bench/fig09_scheduler_effort.pdb"
+  "CMakeFiles/fig09_scheduler_effort.dir/fig09_scheduler_effort.cpp.o"
+  "CMakeFiles/fig09_scheduler_effort.dir/fig09_scheduler_effort.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_scheduler_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_config_time"
+  "../bench/fig10_config_time.pdb"
+  "CMakeFiles/fig10_config_time.dir/fig10_config_time.cpp.o"
+  "CMakeFiles/fig10_config_time.dir/fig10_config_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_config_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

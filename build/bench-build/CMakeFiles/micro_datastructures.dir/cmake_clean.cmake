@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_datastructures"
+  "../bench/micro_datastructures.pdb"
+  "CMakeFiles/micro_datastructures.dir/micro_datastructures.cpp.o"
+  "CMakeFiles/micro_datastructures.dir/micro_datastructures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_datastructures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_metrics"
+  "../bench/table1_metrics.pdb"
+  "CMakeFiles/table1_metrics.dir/table1_metrics.cpp.o"
+  "CMakeFiles/table1_metrics.dir/table1_metrics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_diurnal.dir/datacenter_diurnal.cpp.o"
+  "CMakeFiles/datacenter_diurnal.dir/datacenter_diurnal.cpp.o.d"
+  "datacenter_diurnal"
+  "datacenter_diurnal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_diurnal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

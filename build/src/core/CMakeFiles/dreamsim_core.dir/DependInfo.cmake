@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/graph_session.cpp" "src/core/CMakeFiles/dreamsim_core.dir/graph_session.cpp.o" "gcc" "src/core/CMakeFiles/dreamsim_core.dir/graph_session.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/dreamsim_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/dreamsim_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/replication.cpp" "src/core/CMakeFiles/dreamsim_core.dir/replication.cpp.o" "gcc" "src/core/CMakeFiles/dreamsim_core.dir/replication.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/dreamsim_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/dreamsim_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/core/CMakeFiles/dreamsim_core.dir/simulator.cpp.o" "gcc" "src/core/CMakeFiles/dreamsim_core.dir/simulator.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/dreamsim_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/dreamsim_core.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dreamsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptype/CMakeFiles/dreamsim_ptype.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/dreamsim_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/rms/CMakeFiles/dreamsim_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dreamsim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dreamsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dreamsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dreamsim_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

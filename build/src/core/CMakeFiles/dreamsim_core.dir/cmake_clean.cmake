@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dreamsim_core.dir/graph_session.cpp.o"
+  "CMakeFiles/dreamsim_core.dir/graph_session.cpp.o.d"
+  "CMakeFiles/dreamsim_core.dir/metrics.cpp.o"
+  "CMakeFiles/dreamsim_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/dreamsim_core.dir/replication.cpp.o"
+  "CMakeFiles/dreamsim_core.dir/replication.cpp.o.d"
+  "CMakeFiles/dreamsim_core.dir/report.cpp.o"
+  "CMakeFiles/dreamsim_core.dir/report.cpp.o.d"
+  "CMakeFiles/dreamsim_core.dir/simulator.cpp.o"
+  "CMakeFiles/dreamsim_core.dir/simulator.cpp.o.d"
+  "CMakeFiles/dreamsim_core.dir/sweep.cpp.o"
+  "CMakeFiles/dreamsim_core.dir/sweep.cpp.o.d"
+  "libdreamsim_core.a"
+  "libdreamsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dreamsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dreamsim_net.dir/bitstream_cache.cpp.o"
+  "CMakeFiles/dreamsim_net.dir/bitstream_cache.cpp.o.d"
+  "CMakeFiles/dreamsim_net.dir/network.cpp.o"
+  "CMakeFiles/dreamsim_net.dir/network.cpp.o.d"
+  "libdreamsim_net.a"
+  "libdreamsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dreamsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

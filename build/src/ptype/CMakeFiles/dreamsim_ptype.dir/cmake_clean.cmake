@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dreamsim_ptype.dir/catalogue.cpp.o"
+  "CMakeFiles/dreamsim_ptype.dir/catalogue.cpp.o.d"
+  "CMakeFiles/dreamsim_ptype.dir/ptype.cpp.o"
+  "CMakeFiles/dreamsim_ptype.dir/ptype.cpp.o.d"
+  "libdreamsim_ptype.a"
+  "libdreamsim_ptype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dreamsim_ptype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resource/config.cpp" "src/resource/CMakeFiles/dreamsim_resource.dir/config.cpp.o" "gcc" "src/resource/CMakeFiles/dreamsim_resource.dir/config.cpp.o.d"
+  "/root/repo/src/resource/entry_list.cpp" "src/resource/CMakeFiles/dreamsim_resource.dir/entry_list.cpp.o" "gcc" "src/resource/CMakeFiles/dreamsim_resource.dir/entry_list.cpp.o.d"
+  "/root/repo/src/resource/fabric.cpp" "src/resource/CMakeFiles/dreamsim_resource.dir/fabric.cpp.o" "gcc" "src/resource/CMakeFiles/dreamsim_resource.dir/fabric.cpp.o.d"
+  "/root/repo/src/resource/node.cpp" "src/resource/CMakeFiles/dreamsim_resource.dir/node.cpp.o" "gcc" "src/resource/CMakeFiles/dreamsim_resource.dir/node.cpp.o.d"
+  "/root/repo/src/resource/store.cpp" "src/resource/CMakeFiles/dreamsim_resource.dir/store.cpp.o" "gcc" "src/resource/CMakeFiles/dreamsim_resource.dir/store.cpp.o.d"
+  "/root/repo/src/resource/suspension_queue.cpp" "src/resource/CMakeFiles/dreamsim_resource.dir/suspension_queue.cpp.o" "gcc" "src/resource/CMakeFiles/dreamsim_resource.dir/suspension_queue.cpp.o.d"
+  "/root/repo/src/resource/task.cpp" "src/resource/CMakeFiles/dreamsim_resource.dir/task.cpp.o" "gcc" "src/resource/CMakeFiles/dreamsim_resource.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dreamsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptype/CMakeFiles/dreamsim_ptype.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dreamsim_resource.dir/config.cpp.o"
+  "CMakeFiles/dreamsim_resource.dir/config.cpp.o.d"
+  "CMakeFiles/dreamsim_resource.dir/entry_list.cpp.o"
+  "CMakeFiles/dreamsim_resource.dir/entry_list.cpp.o.d"
+  "CMakeFiles/dreamsim_resource.dir/fabric.cpp.o"
+  "CMakeFiles/dreamsim_resource.dir/fabric.cpp.o.d"
+  "CMakeFiles/dreamsim_resource.dir/node.cpp.o"
+  "CMakeFiles/dreamsim_resource.dir/node.cpp.o.d"
+  "CMakeFiles/dreamsim_resource.dir/store.cpp.o"
+  "CMakeFiles/dreamsim_resource.dir/store.cpp.o.d"
+  "CMakeFiles/dreamsim_resource.dir/suspension_queue.cpp.o"
+  "CMakeFiles/dreamsim_resource.dir/suspension_queue.cpp.o.d"
+  "CMakeFiles/dreamsim_resource.dir/task.cpp.o"
+  "CMakeFiles/dreamsim_resource.dir/task.cpp.o.d"
+  "libdreamsim_resource.a"
+  "libdreamsim_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dreamsim_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

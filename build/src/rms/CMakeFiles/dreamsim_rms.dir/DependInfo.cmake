@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rms/detail_report.cpp" "src/rms/CMakeFiles/dreamsim_rms.dir/detail_report.cpp.o" "gcc" "src/rms/CMakeFiles/dreamsim_rms.dir/detail_report.cpp.o.d"
+  "/root/repo/src/rms/job_manager.cpp" "src/rms/CMakeFiles/dreamsim_rms.dir/job_manager.cpp.o" "gcc" "src/rms/CMakeFiles/dreamsim_rms.dir/job_manager.cpp.o.d"
+  "/root/repo/src/rms/load_balancer.cpp" "src/rms/CMakeFiles/dreamsim_rms.dir/load_balancer.cpp.o" "gcc" "src/rms/CMakeFiles/dreamsim_rms.dir/load_balancer.cpp.o.d"
+  "/root/repo/src/rms/monitor.cpp" "src/rms/CMakeFiles/dreamsim_rms.dir/monitor.cpp.o" "gcc" "src/rms/CMakeFiles/dreamsim_rms.dir/monitor.cpp.o.d"
+  "/root/repo/src/rms/resource_info.cpp" "src/rms/CMakeFiles/dreamsim_rms.dir/resource_info.cpp.o" "gcc" "src/rms/CMakeFiles/dreamsim_rms.dir/resource_info.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/resource/CMakeFiles/dreamsim_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dreamsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dreamsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptype/CMakeFiles/dreamsim_ptype.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dreamsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dreamsim_rms.dir/detail_report.cpp.o"
+  "CMakeFiles/dreamsim_rms.dir/detail_report.cpp.o.d"
+  "CMakeFiles/dreamsim_rms.dir/job_manager.cpp.o"
+  "CMakeFiles/dreamsim_rms.dir/job_manager.cpp.o.d"
+  "CMakeFiles/dreamsim_rms.dir/load_balancer.cpp.o"
+  "CMakeFiles/dreamsim_rms.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/dreamsim_rms.dir/monitor.cpp.o"
+  "CMakeFiles/dreamsim_rms.dir/monitor.cpp.o.d"
+  "CMakeFiles/dreamsim_rms.dir/resource_info.cpp.o"
+  "CMakeFiles/dreamsim_rms.dir/resource_info.cpp.o.d"
+  "libdreamsim_rms.a"
+  "libdreamsim_rms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dreamsim_rms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dreamsim_rms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/dreamsim_policy.cpp" "src/sched/CMakeFiles/dreamsim_sched.dir/dreamsim_policy.cpp.o" "gcc" "src/sched/CMakeFiles/dreamsim_sched.dir/dreamsim_policy.cpp.o.d"
+  "/root/repo/src/sched/heuristic_policy.cpp" "src/sched/CMakeFiles/dreamsim_sched.dir/heuristic_policy.cpp.o" "gcc" "src/sched/CMakeFiles/dreamsim_sched.dir/heuristic_policy.cpp.o.d"
+  "/root/repo/src/sched/policy.cpp" "src/sched/CMakeFiles/dreamsim_sched.dir/policy.cpp.o" "gcc" "src/sched/CMakeFiles/dreamsim_sched.dir/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/resource/CMakeFiles/dreamsim_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptype/CMakeFiles/dreamsim_ptype.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dreamsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dreamsim_sched.dir/dreamsim_policy.cpp.o"
+  "CMakeFiles/dreamsim_sched.dir/dreamsim_policy.cpp.o.d"
+  "CMakeFiles/dreamsim_sched.dir/heuristic_policy.cpp.o"
+  "CMakeFiles/dreamsim_sched.dir/heuristic_policy.cpp.o.d"
+  "CMakeFiles/dreamsim_sched.dir/policy.cpp.o"
+  "CMakeFiles/dreamsim_sched.dir/policy.cpp.o.d"
+  "libdreamsim_sched.a"
+  "libdreamsim_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dreamsim_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

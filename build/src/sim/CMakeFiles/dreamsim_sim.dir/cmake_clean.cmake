@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dreamsim_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dreamsim_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dreamsim_sim.dir/kernel.cpp.o"
+  "CMakeFiles/dreamsim_sim.dir/kernel.cpp.o.d"
+  "libdreamsim_sim.a"
+  "libdreamsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dreamsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

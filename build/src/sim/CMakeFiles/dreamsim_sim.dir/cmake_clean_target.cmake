@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdreamsim_sim.a"
+)

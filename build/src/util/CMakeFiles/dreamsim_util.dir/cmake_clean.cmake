@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dreamsim_util.dir/cli.cpp.o"
+  "CMakeFiles/dreamsim_util.dir/cli.cpp.o.d"
+  "CMakeFiles/dreamsim_util.dir/csv.cpp.o"
+  "CMakeFiles/dreamsim_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dreamsim_util.dir/fmt.cpp.o"
+  "CMakeFiles/dreamsim_util.dir/fmt.cpp.o.d"
+  "CMakeFiles/dreamsim_util.dir/log.cpp.o"
+  "CMakeFiles/dreamsim_util.dir/log.cpp.o.d"
+  "CMakeFiles/dreamsim_util.dir/rng.cpp.o"
+  "CMakeFiles/dreamsim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dreamsim_util.dir/stats.cpp.o"
+  "CMakeFiles/dreamsim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dreamsim_util.dir/xml.cpp.o"
+  "CMakeFiles/dreamsim_util.dir/xml.cpp.o.d"
+  "libdreamsim_util.a"
+  "libdreamsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dreamsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/dreamsim_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/dreamsim_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/workload/CMakeFiles/dreamsim_workload.dir/swf.cpp.o" "gcc" "src/workload/CMakeFiles/dreamsim_workload.dir/swf.cpp.o.d"
+  "/root/repo/src/workload/task_graph.cpp" "src/workload/CMakeFiles/dreamsim_workload.dir/task_graph.cpp.o" "gcc" "src/workload/CMakeFiles/dreamsim_workload.dir/task_graph.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/dreamsim_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/dreamsim_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dreamsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/dreamsim_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptype/CMakeFiles/dreamsim_ptype.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

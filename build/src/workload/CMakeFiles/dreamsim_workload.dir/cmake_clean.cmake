@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dreamsim_workload.dir/generator.cpp.o"
+  "CMakeFiles/dreamsim_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/dreamsim_workload.dir/swf.cpp.o"
+  "CMakeFiles/dreamsim_workload.dir/swf.cpp.o.d"
+  "CMakeFiles/dreamsim_workload.dir/task_graph.cpp.o"
+  "CMakeFiles/dreamsim_workload.dir/task_graph.cpp.o.d"
+  "CMakeFiles/dreamsim_workload.dir/trace.cpp.o"
+  "CMakeFiles/dreamsim_workload.dir/trace.cpp.o.d"
+  "libdreamsim_workload.a"
+  "libdreamsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dreamsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

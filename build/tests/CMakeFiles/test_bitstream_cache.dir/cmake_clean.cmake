@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitstream_cache.dir/test_bitstream_cache.cpp.o"
+  "CMakeFiles/test_bitstream_cache.dir/test_bitstream_cache.cpp.o.d"
+  "test_bitstream_cache"
+  "test_bitstream_cache.pdb"
+  "test_bitstream_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitstream_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

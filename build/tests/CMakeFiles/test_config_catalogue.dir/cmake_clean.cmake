@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_catalogue.dir/test_config_catalogue.cpp.o"
+  "CMakeFiles/test_config_catalogue.dir/test_config_catalogue.cpp.o.d"
+  "test_config_catalogue"
+  "test_config_catalogue.pdb"
+  "test_config_catalogue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_catalogue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

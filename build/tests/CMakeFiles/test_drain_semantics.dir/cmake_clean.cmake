@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drain_semantics.dir/test_drain_semantics.cpp.o"
+  "CMakeFiles/test_drain_semantics.dir/test_drain_semantics.cpp.o.d"
+  "test_drain_semantics"
+  "test_drain_semantics.pdb"
+  "test_drain_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drain_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

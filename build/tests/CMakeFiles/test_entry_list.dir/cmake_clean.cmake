@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_entry_list.dir/test_entry_list.cpp.o"
+  "CMakeFiles/test_entry_list.dir/test_entry_list.cpp.o.d"
+  "test_entry_list"
+  "test_entry_list.pdb"
+  "test_entry_list[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_entry_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

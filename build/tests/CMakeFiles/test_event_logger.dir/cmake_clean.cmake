@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_logger.dir/test_event_logger.cpp.o"
+  "CMakeFiles/test_event_logger.dir/test_event_logger.cpp.o.d"
+  "test_event_logger"
+  "test_event_logger.pdb"
+  "test_event_logger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_logger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expected.dir/test_expected.cpp.o"
+  "CMakeFiles/test_expected.dir/test_expected.cpp.o.d"
+  "test_expected"
+  "test_expected.pdb"
+  "test_expected[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fmt.dir/test_fmt.cpp.o"
+  "CMakeFiles/test_fmt.dir/test_fmt.cpp.o.d"
+  "test_fmt"
+  "test_fmt.pdb"
+  "test_fmt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_priority.dir/test_graph_priority.cpp.o"
+  "CMakeFiles/test_graph_priority.dir/test_graph_priority.cpp.o.d"
+  "test_graph_priority"
+  "test_graph_priority.pdb"
+  "test_graph_priority[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

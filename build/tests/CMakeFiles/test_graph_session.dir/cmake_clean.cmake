@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_session.dir/test_graph_session.cpp.o"
+  "CMakeFiles/test_graph_session.dir/test_graph_session.cpp.o.d"
+  "test_graph_session"
+  "test_graph_session.pdb"
+  "test_graph_session[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heuristic_policy.dir/test_heuristic_policy.cpp.o"
+  "CMakeFiles/test_heuristic_policy.dir/test_heuristic_policy.cpp.o.d"
+  "test_heuristic_policy"
+  "test_heuristic_policy.pdb"
+  "test_heuristic_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heuristic_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

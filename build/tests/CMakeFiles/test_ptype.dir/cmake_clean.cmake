@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptype.dir/test_ptype.cpp.o"
+  "CMakeFiles/test_ptype.dir/test_ptype.cpp.o.d"
+  "test_ptype"
+  "test_ptype.pdb"
+  "test_ptype[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rms.dir/test_rms.cpp.o"
+  "CMakeFiles/test_rms.dir/test_rms.cpp.o.d"
+  "test_rms"
+  "test_rms.pdb"
+  "test_rms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suspension_queue.dir/test_suspension_queue.cpp.o"
+  "CMakeFiles/test_suspension_queue.dir/test_suspension_queue.cpp.o.d"
+  "test_suspension_queue"
+  "test_suspension_queue.pdb"
+  "test_suspension_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suspension_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_task_store.cpp" "tests/CMakeFiles/test_task_store.dir/test_task_store.cpp.o" "gcc" "tests/CMakeFiles/test_task_store.dir/test_task_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dreamsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dreamsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rms/CMakeFiles/dreamsim_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dreamsim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dreamsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dreamsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/dreamsim_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptype/CMakeFiles/dreamsim_ptype.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dreamsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dreamsim.dir/dreamsim_cli.cpp.o"
+  "CMakeFiles/dreamsim.dir/dreamsim_cli.cpp.o.d"
+  "dreamsim"
+  "dreamsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dreamsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
