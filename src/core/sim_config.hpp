@@ -86,6 +86,15 @@ struct SimulationConfig {
   /// hits skip the bitstream transfer when ship_bitstreams is on.
   Bytes bitstream_cache_capacity = 0;
 
+  // --- Performance ---
+  /// Answer scheduler queries from the resource store's O(log N) index
+  /// instead of the literal counted scans. Decisions and every Table I
+  /// metric (step counts included) are bit-identical either way — the index
+  /// charges the analytic step counts the scans would have (DESIGN.md
+  /// "Scheduler index"). Off = reference scans, for debugging and
+  /// differential validation.
+  bool scheduler_index = true;
+
   // --- Metrics ---
   WasteAccounting waste_accounting = WasteAccounting::kOnSchedule;
   /// Event-driven utilization monitoring (O(nodes) per event); disable for

@@ -85,6 +85,7 @@ Simulator::Simulator(SimulationConfig config)
       info_(store_),
       monitor_(info_),
       jobs_(kernel_, tasks_) {
+  store_.SetIndexed(config_.scheduler_index);
   Rng resource_rng(DeriveSeed(config_.seed, kStreamResources) ^ 0x5bd1e995u);
   store_.InitNodes(config_.nodes, resource_rng);
   if (config_.ship_bitstreams) {
@@ -259,18 +260,11 @@ bool Simulator::CouldUseNode(const resource::Task& task,
           node.family())) {
     return false;
   }
-  // Spare fabric on the node could host the task's configuration directly.
-  if (node.CanHost(task.needed_area)) return true;
-  // Reclaiming the node's idle entries (Algorithm 1, restricted to this
-  // node) could free enough room.
-  Area reclaimable = node.available_area();
-  bool feasible = false;
-  node.ForEachSlot([&](resource::SlotIndex, const resource::ConfigTaskPair& p) {
-    if (feasible || !p.idle()) return;
-    reclaimable += store_.configs().Get(p.config).required_area;
-    feasible = reclaimable >= task.needed_area;
-  });
-  return feasible;
+  // Spare fabric could host the task directly, or reclaiming the node's
+  // idle entries (Algorithm 1, restricted to this node) could free enough
+  // room. The store answers both from its incremental busy-area tally in
+  // O(1) — the same outcome as accumulating idle-entry areas slot by slot.
+  return store_.CouldEventuallyHost(node.id(), task.needed_area);
 }
 
 void Simulator::DrainSuspensionQueue(resource::EntryRef freed,

@@ -4,19 +4,26 @@ namespace dreamsim::resource {
 
 void EntryList::Add(EntryRef entry, WorkloadMeter& meter) {
   meter.Add(StepKind::kHousekeeping);
+  positions_[entry] = cells_.size();
   cells_.push_back(entry);
 }
 
 bool EntryList::Remove(EntryRef entry, WorkloadMeter& meter) {
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    meter.Add(StepKind::kHousekeeping);
-    if (cells_[i] == entry) {
-      cells_[i] = cells_.back();
-      cells_.pop_back();
-      return true;
-    }
+  const auto it = positions_.find(entry);
+  if (it == positions_.end()) {
+    // The counted search would have walked the whole list before giving up.
+    meter.Add(StepKind::kHousekeeping, cells_.size());
+    return false;
   }
-  return false;
+  const std::size_t pos = it->second;
+  // The counted search visits pos + 1 cells to find the entry.
+  meter.Add(StepKind::kHousekeeping, pos + 1);
+  positions_.erase(it);
+  const EntryRef moved = cells_.back();
+  cells_[pos] = moved;
+  cells_.pop_back();
+  if (pos < cells_.size()) positions_[moved] = pos;
+  return true;
 }
 
 bool EntryList::Contains(EntryRef entry, WorkloadMeter& meter,
@@ -26,6 +33,15 @@ bool EntryList::Contains(EntryRef entry, WorkloadMeter& meter,
     if (e == entry) return true;
   }
   return false;
+}
+
+bool EntryList::PositionsConsistent() const {
+  if (positions_.size() != cells_.size()) return false;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const auto it = positions_.find(cells_[i]);
+    if (it == positions_.end() || it->second != i) return false;
+  }
+  return true;
 }
 
 }  // namespace dreamsim::resource

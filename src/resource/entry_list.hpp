@@ -12,7 +12,10 @@
 // paper's metrics measure on its linked lists, with better locality.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "resource/node.hpp"
@@ -29,13 +32,26 @@ struct EntryRef {
   friend constexpr bool operator==(EntryRef, EntryRef) = default;
 };
 
+struct EntryRefHash {
+  std::size_t operator()(EntryRef e) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(e.node.value()) << 32) | e.slot);
+  }
+};
+
 /// Counted-traversal membership list of entries.
+///
+/// A position map makes removal O(1) host work; the meter is still charged
+/// what the counted linear search would have cost (position + 1 cells, or
+/// the full list on a miss), so the paper's step metrics are unchanged.
+/// Entries must be unique (the store never double-adds).
 class EntryList {
  public:
   /// O(1) insertion (push-front semantics of a linked list).
   void Add(EntryRef entry, WorkloadMeter& meter);
 
-  /// Removes `entry`; counted linear search. Returns false when absent.
+  /// Removes `entry`; O(1) via the position map, charged as the counted
+  /// linear search. Returns false when absent.
   bool Remove(EntryRef entry, WorkloadMeter& meter);
 
   /// Counted linear membership test.
@@ -81,8 +97,13 @@ class EntryList {
   [[nodiscard]] bool empty() const { return cells_.empty(); }
   [[nodiscard]] const std::vector<EntryRef>& cells() const { return cells_; }
 
+  /// True when the position map is the exact inverse of the cell vector
+  /// (consistency checks).
+  [[nodiscard]] bool PositionsConsistent() const;
+
  private:
   std::vector<EntryRef> cells_;
+  std::unordered_map<EntryRef, std::size_t, EntryRefHash> positions_;
 };
 
 }  // namespace dreamsim::resource

@@ -74,6 +74,12 @@ class Node {
   /// Number of currently running tasks.
   [[nodiscard]] std::size_t running_tasks() const { return running_tasks_; }
 
+  /// Number of live configurations with no task — the entries Algorithm 1
+  /// may reclaim.
+  [[nodiscard]] std::size_t idle_entry_count() const {
+    return live_entries_ - running_tasks_;
+  }
+
   /// Reconfigurations performed on this node so far (Table I metric).
   [[nodiscard]] std::uint64_t reconfig_count() const { return reconfig_count_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "resource/store_index.hpp"
 #include "util/fmt.hpp"
 
 namespace dreamsim::resource {
@@ -10,7 +11,59 @@ namespace dreamsim::resource {
 ResourceStore::ResourceStore(ConfigCatalogue configs)
     : configs_(std::move(configs)),
       idle_lists_(configs_.size()),
-      busy_lists_(configs_.size()) {}
+      busy_lists_(configs_.size()),
+      index_(std::make_unique<StoreIndex>(configs_)) {}
+
+// Out of line so the header can hold StoreIndex behind a forward
+// declaration. Moves re-bind the index's catalogue pointer, which refers
+// into the store itself.
+ResourceStore::~ResourceStore() = default;
+
+ResourceStore::ResourceStore(ResourceStore&& other) noexcept
+    : configs_(std::move(other.configs_)),
+      nodes_(std::move(other.nodes_)),
+      idle_lists_(std::move(other.idle_lists_)),
+      busy_lists_(std::move(other.busy_lists_)),
+      blank_(std::move(other.blank_)),
+      blank_pos_(std::move(other.blank_pos_)),
+      busy_area_(std::move(other.busy_area_)),
+      index_(std::move(other.index_)),
+      meter_(other.meter_) {
+  if (index_) index_->RebindCatalogue(configs_);
+}
+
+ResourceStore& ResourceStore::operator=(ResourceStore&& other) noexcept {
+  if (this == &other) return *this;
+  configs_ = std::move(other.configs_);
+  nodes_ = std::move(other.nodes_);
+  idle_lists_ = std::move(other.idle_lists_);
+  busy_lists_ = std::move(other.busy_lists_);
+  blank_ = std::move(other.blank_);
+  blank_pos_ = std::move(other.blank_pos_);
+  busy_area_ = std::move(other.busy_area_);
+  index_ = std::move(other.index_);
+  meter_ = other.meter_;
+  if (index_) index_->RebindCatalogue(configs_);
+  return *this;
+}
+
+void ResourceStore::SetIndexed(bool enabled) {
+  if (enabled == indexed()) return;
+  if (!enabled) {
+    index_.reset();
+    return;
+  }
+  index_ = std::make_unique<StoreIndex>(configs_);
+  for (const Node& n : nodes_) {
+    index_->AddNode(n, busy_area_[n.id().value()]);
+  }
+}
+
+void ResourceStore::RefreshIndex(NodeId node_id) {
+  if (index_) {
+    index_->Refresh(nodes_[node_id.value()], busy_area_[node_id.value()]);
+  }
+}
 
 NodeId ResourceStore::AddNode(Area total_area, FamilyId family, Caps caps,
                               Tick network_delay, bool contiguous,
@@ -18,7 +71,10 @@ NodeId ResourceStore::AddNode(Area total_area, FamilyId family, Caps caps,
   const auto id = NodeId{static_cast<std::uint32_t>(nodes_.size())};
   nodes_.emplace_back(id, total_area, family, caps, contiguous, placement);
   nodes_.back().set_network_delay(network_delay);
+  blank_pos_.push_back(blank_.size());
   blank_.push_back(id);
+  busy_area_.push_back(0);
+  if (index_) index_->AddNode(nodes_.back(), 0);
   return id;
 }
 
@@ -93,6 +149,11 @@ bool FamilyOk(FamilyId required, const Node& n) {
 
 std::optional<NodeId> ResourceStore::FindBestBlankNode(Area needed_area,
                                                        FamilyId family) {
+  if (index_) {
+    // The reference scan visits every blank node, fit or not.
+    meter_.Add(StepKind::kSchedulingSearch, blank_.size());
+    return index_->BestBlank(needed_area, family, blank_pos_);
+  }
   std::optional<NodeId> best;
   Area best_area = 0;
   for (const NodeId id : blank_) {
@@ -110,6 +171,11 @@ std::optional<NodeId> ResourceStore::FindBestBlankNode(Area needed_area,
 
 std::optional<NodeId> ResourceStore::FindBestPartiallyBlankNode(
     Area needed_area, FamilyId family) {
+  if (index_) {
+    // The reference scan walks the whole node list unconditionally.
+    meter_.Add(StepKind::kSchedulingSearch, nodes_.size());
+    return index_->BestPartiallyBlank(needed_area, family, nodes_);
+  }
   std::optional<NodeId> best;
   Area best_area = 0;
   for (const Node& n : nodes_) {
@@ -127,6 +193,13 @@ std::optional<NodeId> ResourceStore::FindBestPartiallyBlankNode(
 
 std::optional<ReconfigPlan> ResourceStore::FindAnyIdleNode(Area needed_area,
                                                            FamilyId family) {
+  if (index_) {
+    // Candidates come from the max-reclaimable-area descent; the charge is
+    // the analytic count of node and slot visits the scan would have made.
+    auto result = index_->FindAnyIdle(needed_area, family, nodes_);
+    meter_.Add(StepKind::kSchedulingSearch, result.steps);
+    return std::move(result.plan);
+  }
   // Algorithm 1: walk the node list; on each node accumulate AvailableArea
   // plus the areas of idle entries (in slot order) until the target fits.
   for (const Node& n : nodes_) {
@@ -158,6 +231,11 @@ std::optional<ReconfigPlan> ResourceStore::FindAnyIdleNode(Area needed_area,
 }
 
 bool ResourceStore::AnyBusyNodeCouldFit(Area needed_area, FamilyId family) {
+  if (index_) {
+    const auto result = index_->AnyBusyFit(needed_area, family);
+    meter_.Add(StepKind::kSchedulingSearch, result.steps);
+    return result.found;
+  }
   for (const Node& n : nodes_) {
     meter_.Add(StepKind::kSchedulingSearch);
     if (!FamilyOk(family, n)) continue;
@@ -166,16 +244,83 @@ bool ResourceStore::AnyBusyNodeCouldFit(Area needed_area, FamilyId family) {
   return false;
 }
 
-void ResourceStore::RemoveFromBlank(NodeId node_id) {
-  for (std::size_t i = 0; i < blank_.size(); ++i) {
-    meter_.Add(StepKind::kHousekeeping);
-    if (blank_[i] == node_id) {
-      blank_[i] = blank_.back();
-      blank_.pop_back();
-      return;
+std::optional<NodeId> ResourceStore::FindBestIdleConfiguredNode(
+    Area needed_area, FamilyId family) {
+  if (index_) {
+    meter_.Add(StepKind::kSchedulingSearch, nodes_.size());
+    return index_->BestIdleConfigured(needed_area, family);
+  }
+  std::optional<NodeId> best;
+  Area best_area = 0;
+  for (const Node& n : nodes_) {
+    meter_.Add(StepKind::kSchedulingSearch);
+    if (!FamilyOk(family, n)) continue;
+    if (n.blank() || n.busy()) continue;
+    if (n.total_area() < needed_area) continue;
+    if (!best || n.total_area() < best_area) {
+      best = n.id();
+      best_area = n.total_area();
     }
   }
-  throw std::logic_error("node missing from blank list");
+  return best;
+}
+
+std::optional<NodeId> ResourceStore::FindRankedHostNode(Area needed_area,
+                                                        HostRank rank,
+                                                        FamilyId family) {
+  if (index_) {
+    meter_.Add(StepKind::kSchedulingSearch, nodes_.size());
+    return index_->RankedHost(needed_area, rank, family, nodes_);
+  }
+  std::optional<NodeId> best;
+  Area best_avail = 0;
+  for (const Node& n : nodes_) {
+    meter_.Add(StepKind::kSchedulingSearch);
+    if (!FamilyOk(family, n)) continue;
+    if (!n.CanHost(needed_area)) continue;
+    // First fit keeps the first eligible node but still walks the rest
+    // (the scan has no early exit — every node costs a step).
+    const bool better =
+        !best || (rank == HostRank::kBestFit && n.available_area() < best_avail) ||
+        (rank == HostRank::kWorstFit && n.available_area() > best_avail);
+    if (better) {
+      best = n.id();
+      best_avail = n.available_area();
+    }
+  }
+  return best;
+}
+
+Area ResourceStore::ReclaimablePotential(NodeId id) const {
+  return node(id).total_area() - busy_area_[id.value()];
+}
+
+bool ResourceStore::CouldEventuallyHost(NodeId id, Area needed_area) const {
+  const Node& n = node(id);
+  if (n.CanHost(needed_area)) return true;
+  // The reference accumulation only ever sums idle-entry areas, so a node
+  // with no idle entry cannot improve on CanHost (this matters on a
+  // fragmented contiguous fabric, where available area alone never counts).
+  if (n.idle_entry_count() == 0) return false;
+  return ReclaimablePotential(id) >= needed_area;
+}
+
+void ResourceStore::RemoveFromBlank(NodeId node_id) {
+  const std::size_t pos = blank_pos_[node_id.value()];
+  if (pos == kNotBlank) throw std::logic_error("node missing from blank list");
+  // Counted cost of the reference scan that found the node at `pos`.
+  meter_.Add(StepKind::kHousekeeping, pos + 1);
+  const NodeId moved = blank_.back();
+  blank_[pos] = moved;
+  blank_.pop_back();
+  blank_pos_[moved.value()] = pos;
+  blank_pos_[node_id.value()] = kNotBlank;
+}
+
+void ResourceStore::PushBlank(NodeId node_id) {
+  meter_.Add(StepKind::kHousekeeping);
+  blank_pos_[node_id.value()] = blank_.size();
+  blank_.push_back(node_id);
 }
 
 EntryRef ResourceStore::Configure(NodeId node_id, ConfigId config) {
@@ -190,6 +335,7 @@ EntryRef ResourceStore::Configure(NodeId node_id, ConfigId config) {
   if (was_blank) RemoveFromBlank(node_id);
   const EntryRef entry{node_id, slot};
   idle_list_mut(config).Add(entry, meter_);
+  RefreshIndex(node_id);
   return entry;
 }
 
@@ -202,10 +348,8 @@ void ResourceStore::ReclaimSlot(EntryRef entry) {
   }
   const Area area = configs_.Get(pair.config).required_area;
   n.MakeNodePartiallyBlank(entry.slot, area);
-  if (n.blank()) {
-    meter_.Add(StepKind::kHousekeeping);
-    blank_.push_back(entry.node);
-  }
+  if (n.blank()) PushBlank(entry.node);
+  RefreshIndex(entry.node);
 }
 
 void ResourceStore::BlankNode(NodeId node_id) {
@@ -218,8 +362,8 @@ void ResourceStore::BlankNode(NodeId node_id) {
     }
   });
   n.MakeNodeBlank();
-  meter_.Add(StepKind::kHousekeeping);
-  blank_.push_back(node_id);
+  PushBlank(node_id);
+  RefreshIndex(node_id);
 }
 
 void ResourceStore::AssignTask(EntryRef entry, TaskId task) {
@@ -230,6 +374,8 @@ void ResourceStore::AssignTask(EntryRef entry, TaskId task) {
   }
   n.AddTaskToNode(entry.slot, task);
   busy_list_mut(config).Add(entry, meter_);
+  busy_area_[entry.node.value()] += configs_.Get(config).required_area;
+  RefreshIndex(entry.node);
 }
 
 TaskId ResourceStore::ReleaseTask(EntryRef entry) {
@@ -242,6 +388,8 @@ TaskId ResourceStore::ReleaseTask(EntryRef entry) {
   }
   n.RemoveTaskFromNode(entry.slot);
   idle_list_mut(config).Add(entry, meter_);
+  busy_area_[entry.node.value()] -= configs_.Get(config).required_area;
+  RefreshIndex(entry.node);
   return task;
 }
 
@@ -378,6 +526,47 @@ std::vector<std::string> ResourceStore::ValidateConsistency() const {
             "busy list {}: stale cell (node {}, slot {})", cid,
             e.node.value(), e.slot));
       }
+    }
+    if (!idle_lists_[cid].PositionsConsistent()) {
+      violations.push_back(Format("idle list {}: position map stale", cid));
+    }
+    if (!busy_lists_[cid].PositionsConsistent()) {
+      violations.push_back(Format("busy list {}: position map stale", cid));
+    }
+  }
+
+  // The incremental busy-area tally must match a fresh recount.
+  for (const Node& n : nodes_) {
+    Area busy = 0;
+    n.ForEachSlot([&](SlotIndex, const ConfigTaskPair& pair) {
+      if (!pair.idle()) busy += configs_.Get(pair.config).required_area;
+    });
+    if (busy != busy_area_[n.id().value()]) {
+      violations.push_back(Format(
+          "node {}: busy-area tally {} != recount {}", n.id().value(),
+          busy_area_[n.id().value()], busy));
+    }
+  }
+
+  // Blank position map: exact inverse of the blank list.
+  for (std::size_t i = 0; i < blank_.size(); ++i) {
+    if (blank_pos_[blank_[i].value()] != i) {
+      violations.push_back(Format(
+          "blank list slot {}: position map disagrees (node {})", i,
+          blank_[i].value()));
+    }
+  }
+  for (const Node& n : nodes_) {
+    if (!n.blank() && blank_pos_[n.id().value()] != kNotBlank) {
+      violations.push_back(Format(
+          "node {}: non-blank but has a blank-list position", n.id().value()));
+    }
+  }
+
+  // Cross-check every indexed structure against ground truth.
+  if (index_) {
+    for (std::string& v : index_->Validate(nodes_, busy_area_)) {
+      violations.push_back(std::move(v));
     }
   }
   return violations;

@@ -8,6 +8,8 @@
 // check via ValidateConsistency()).
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +23,8 @@
 
 namespace dreamsim::resource {
 
+class StoreIndex;
+
 /// Result of Algorithm 1 (FindAnyIdleNode): a reconfigurable node plus the
 /// idle entries whose removal frees enough area for the new configuration.
 struct ReconfigPlan {
@@ -28,10 +32,21 @@ struct ReconfigPlan {
   std::vector<SlotIndex> removable_entries;
 };
 
+/// Host-selection order for FindRankedHostNode (the heuristic baselines'
+/// Class B search over every node).
+enum class HostRank : std::uint8_t {
+  kFirstFit,  // first fitting node in id order
+  kBestFit,   // minimum AvailableArea among fitting nodes (ties: min id)
+  kWorstFit,  // maximum AvailableArea among fitting nodes (ties: min id)
+};
+
 /// Owning store of nodes + configurations + membership lists.
 class ResourceStore {
  public:
   explicit ResourceStore(ConfigCatalogue configs);
+  ~ResourceStore();
+  ResourceStore(ResourceStore&&) noexcept;
+  ResourceStore& operator=(ResourceStore&&) noexcept;
 
   // --- Construction of the node population ---
 
@@ -60,6 +75,26 @@ class ResourceStore {
   [[nodiscard]] const EntryList& idle_list(ConfigId config) const;
   [[nodiscard]] const EntryList& busy_list(ConfigId config) const;
   [[nodiscard]] std::size_t blank_node_count() const { return blank_.size(); }
+
+  // --- Indexed fast path (DESIGN.md "Scheduler index") ---
+
+  /// Enables/disables the O(log N) query index. Decisions and WorkloadMeter
+  /// charges are bit-identical either way; off means every query runs the
+  /// literal counted scan. Rebuilds from current node state, so it can be
+  /// toggled at any point. Default: enabled.
+  void SetIndexed(bool enabled);
+  [[nodiscard]] bool indexed() const { return index_ != nullptr; }
+
+  /// TotalArea minus the areas of busy entries: the Algorithm 1 upper bound
+  /// on what reclaiming idle entries could free ("max reclaimable area").
+  /// O(1); not charged to the meter (metric bookkeeping, not search).
+  [[nodiscard]] Area ReclaimablePotential(NodeId id) const;
+
+  /// True when `id` could host `needed_area` now or after reclaiming its
+  /// idle entries — the exact outcome of the suspension-drain prefilter's
+  /// idle-area accumulation, answered in O(1). Not charged to the meter
+  /// (the reference accumulation is not either).
+  [[nodiscard]] bool CouldEventuallyHost(NodeId id, Area needed_area) const;
 
   // --- Counted scheduler queries (StepKind::kSchedulingSearch) ---
 
@@ -95,6 +130,18 @@ class ResourceStore {
   /// Family filter as in FindBestBlankNode().
   [[nodiscard]] bool AnyBusyNodeCouldFit(
       Area needed_area, FamilyId family = FamilyId::invalid());
+
+  /// Full-reconfiguration fallback: the configured, idle, non-blank node
+  /// with minimum TotalArea >= needed_area (ties: lowest id). Charges one
+  /// step per node, like the scan it models.
+  [[nodiscard]] std::optional<NodeId> FindBestIdleConfiguredNode(
+      Area needed_area, FamilyId family = FamilyId::invalid());
+
+  /// Heuristic Class B host search: the node ranked best by `rank` among
+  /// those that can host `needed_area` right now. Charges one step per
+  /// node (the reference scan never early-exits).
+  [[nodiscard]] std::optional<NodeId> FindRankedHostNode(
+      Area needed_area, HostRank rank, FamilyId family = FamilyId::invalid());
 
   // --- Mutations (housekeeping steps) ---
 
@@ -150,15 +197,22 @@ class ResourceStore {
   [[nodiscard]] std::vector<std::string> ValidateConsistency() const;
 
  private:
+  static constexpr std::size_t kNotBlank = static_cast<std::size_t>(-1);
+
   [[nodiscard]] EntryList& idle_list_mut(ConfigId config);
   [[nodiscard]] EntryList& busy_list_mut(ConfigId config);
   void RemoveFromBlank(NodeId node_id);
+  void PushBlank(NodeId node_id);
+  void RefreshIndex(NodeId node_id);
 
   ConfigCatalogue configs_;
   std::vector<Node> nodes_;
   std::vector<EntryList> idle_lists_;   // indexed by ConfigId::value()
   std::vector<EntryList> busy_lists_;   // indexed by ConfigId::value()
   std::vector<NodeId> blank_;           // nodes with zero configurations
+  std::vector<std::size_t> blank_pos_;  // node id -> blank_ slot, kNotBlank
+  std::vector<Area> busy_area_;         // node id -> sum of busy entry areas
+  std::unique_ptr<StoreIndex> index_;   // null = scan mode
   WorkloadMeter meter_;
 };
 

@@ -1,0 +1,464 @@
+#include "resource/store_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace dreamsim::resource {
+
+namespace {
+
+constexpr std::size_t LowBit(std::size_t i) { return i & (~i + 1); }
+
+}  // namespace
+
+// --- PrefixSumTree ---
+
+void PrefixSumTree::Append(std::int64_t value) {
+  values_.push_back(0);
+  tree_.push_back(0);
+  // Fenwick cell i (1-based) covers (i - lowbit(i), i]; seed the fresh
+  // trailing cell with the sum of the range it covers (the new value is
+  // still 0), then point-update to the real value.
+  const std::size_t i = values_.size();
+  std::int64_t covered = 0;
+  for (std::size_t j = i - 1; j > i - LowBit(i); j -= LowBit(j)) {
+    covered += tree_[j - 1];
+  }
+  tree_[i - 1] = covered;
+  Assign(i - 1, value);
+}
+
+void PrefixSumTree::Assign(std::size_t pos, std::int64_t value) {
+  const std::int64_t delta = value - values_[pos];
+  if (delta == 0) return;
+  values_[pos] = value;
+  for (std::size_t j = pos + 1; j <= tree_.size(); j += LowBit(j)) {
+    tree_[j - 1] += delta;
+  }
+}
+
+std::int64_t PrefixSumTree::Prefix(std::size_t count) const {
+  std::int64_t sum = 0;
+  for (std::size_t j = count; j > 0; j -= LowBit(j)) sum += tree_[j - 1];
+  return sum;
+}
+
+// --- MaxSegTree ---
+
+void MaxSegTree::Grow() {
+  const std::size_t new_cap = cap_ == 0 ? 1 : cap_ * 2;
+  std::vector<std::int64_t> fresh(2 * new_cap, kNegInf);
+  for (std::size_t i = 0; i < size_; ++i) fresh[new_cap + i] = tree_[cap_ + i];
+  for (std::size_t i = new_cap - 1; i > 0; --i) {
+    fresh[i] = std::max(fresh[2 * i], fresh[2 * i + 1]);
+  }
+  cap_ = new_cap;
+  tree_ = std::move(fresh);
+}
+
+void MaxSegTree::Append(std::int64_t value) {
+  if (size_ == cap_) Grow();
+  ++size_;
+  Assign(size_ - 1, value);
+}
+
+void MaxSegTree::Assign(std::size_t pos, std::int64_t value) {
+  std::size_t i = cap_ + pos;
+  tree_[i] = value;
+  for (i /= 2; i >= 1; i /= 2) {
+    tree_[i] = std::max(tree_[2 * i], tree_[2 * i + 1]);
+  }
+}
+
+std::int64_t MaxSegTree::Value(std::size_t pos) const {
+  return tree_[cap_ + pos];
+}
+
+std::size_t MaxSegTree::FirstAtLeast(std::size_t from,
+                                     std::int64_t threshold) const {
+  if (from >= size_) return npos;
+  return Descend(1, 0, cap_, from, threshold);
+}
+
+std::size_t MaxSegTree::Descend(std::size_t cell, std::size_t lo,
+                                std::size_t hi, std::size_t from,
+                                std::int64_t threshold) const {
+  // Padding leaves past size_ hold kNegInf, so they can never match.
+  if (hi <= from || tree_[cell] < threshold) return npos;
+  if (hi - lo == 1) return lo;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const std::size_t left = Descend(2 * cell, lo, mid, from, threshold);
+  if (left != npos) return left;
+  return Descend(2 * cell + 1, mid, hi, from, threshold);
+}
+
+// --- StoreIndex ---
+
+StoreIndex::Snapshot StoreIndex::Capture(const Node& node, Area busy_area) {
+  Snapshot s;
+  s.total = node.total_area();
+  s.available = node.available_area();
+  s.potential = node.total_area() - busy_area;
+  s.config_count = static_cast<std::int64_t>(node.config_count());
+  s.blank = node.blank();
+  s.busy = node.busy();
+  s.family = node.family().value();
+  return s;
+}
+
+void StoreIndex::AddNode(const Node& node, Area busy_area) {
+  if (node.id().value() != cached_.size()) {
+    throw std::logic_error("StoreIndex::AddNode: node ids must be dense");
+  }
+  Snapshot snap = Capture(node, busy_area);
+  View& fam = family_views_[snap.family];
+  snap.family_pos = fam.ids.size();
+  AppendToView(global_, snap, node.id().value());
+  AppendToView(fam, snap, node.id().value());
+  cached_.push_back(snap);
+}
+
+void StoreIndex::Refresh(const Node& node, Area busy_area) {
+  const std::uint32_t id = node.id().value();
+  Snapshot& was = cached_.at(id);
+  Snapshot now = Capture(node, busy_area);
+  now.family_pos = was.family_pos;  // families are fixed at creation
+  ApplyToView(global_, id, was, now, id);
+  ApplyToView(family_views_.at(now.family), now.family_pos, was, now, id);
+  was = now;
+}
+
+void StoreIndex::AppendToView(View& view, const Snapshot& snap,
+                              std::uint32_t id) {
+  view.ids.push_back(id);
+  view.potential.Append(snap.potential);
+  view.busy_total.Append(snap.busy ? snap.total : MaxSegTree::kNegInf);
+  view.available.Append(snap.available);
+  view.config_count.Append(snap.config_count);
+  view.all_by_avail.insert({snap.available, id});
+  if (snap.blank) view.blank_by_total.insert({snap.total, id});
+  if (!snap.blank) view.partial_by_avail.insert({snap.available, id});
+  if (!snap.blank && !snap.busy) {
+    view.idle_cfg_by_total.insert({snap.total, id});
+  }
+}
+
+void StoreIndex::ApplyToView(View& view, std::size_t pos, const Snapshot& was,
+                             const Snapshot& now, std::uint32_t id) {
+  if (was.potential != now.potential) {
+    view.potential.Assign(pos, now.potential);
+  }
+  const std::int64_t was_busy = was.busy ? was.total : MaxSegTree::kNegInf;
+  const std::int64_t now_busy = now.busy ? now.total : MaxSegTree::kNegInf;
+  if (was_busy != now_busy) view.busy_total.Assign(pos, now_busy);
+  if (was.available != now.available) {
+    view.available.Assign(pos, now.available);
+  }
+  if (was.config_count != now.config_count) {
+    view.config_count.Assign(pos, now.config_count);
+  }
+
+  const auto resync = [&](std::set<AreaKey>& keys, bool was_in, Area was_key,
+                          bool now_in, Area now_key) {
+    if (was_in == now_in && (!now_in || was_key == now_key)) return;
+    if (was_in) keys.erase({was_key, id});
+    if (now_in) keys.insert({now_key, id});
+  };
+  resync(view.blank_by_total, was.blank, was.total, now.blank, now.total);
+  resync(view.all_by_avail, true, was.available, true, now.available);
+  resync(view.partial_by_avail, !was.blank, was.available, !now.blank,
+         now.available);
+  resync(view.idle_cfg_by_total, !was.blank && !was.busy, was.total,
+         !now.blank && !now.busy, now.total);
+}
+
+const StoreIndex::View* StoreIndex::ViewFor(FamilyId family) const {
+  if (!family.valid()) return &global_;
+  const auto it = family_views_.find(family.value());
+  return it == family_views_.end() ? nullptr : &it->second;
+}
+
+std::optional<NodeId> StoreIndex::BestBlank(
+    Area needed_area, FamilyId family,
+    const std::vector<std::size_t>& blank_pos) const {
+  const View* view = ViewFor(family);
+  if (view == nullptr) return std::nullopt;
+  const auto it = view->blank_by_total.lower_bound({needed_area, 0});
+  if (it == view->blank_by_total.end()) return std::nullopt;
+  // The reference scan keeps the first fitting node *in blank-list order*
+  // among ties on the minimal TotalArea, and that incidental order is part
+  // of the bit-identity contract: walk the tie range and compare blank-list
+  // positions. The range only spans blank nodes of one exact area.
+  const Area tightest = it->first;
+  std::uint32_t best = it->second;
+  for (auto tie = std::next(it);
+       tie != view->blank_by_total.end() && tie->first == tightest; ++tie) {
+    if (blank_pos[tie->second] < blank_pos[best]) best = tie->second;
+  }
+  return NodeId{best};
+}
+
+std::optional<NodeId> StoreIndex::BestPartiallyBlank(
+    Area needed_area, FamilyId family, const std::vector<Node>& nodes) const {
+  const View* view = ViewFor(family);
+  if (view == nullptr) return std::nullopt;
+  // (available, id) ascending matches the scan's selection order: minimum
+  // AvailableArea, ties to the smallest id. Scalar nodes in this range pass
+  // CanHost by construction; only a fragmented contiguous fabric forces the
+  // walk to the next candidate.
+  for (auto it = view->partial_by_avail.lower_bound({needed_area, 0});
+       it != view->partial_by_avail.end(); ++it) {
+    const Node& n = nodes[it->second];
+    if (n.CanHost(needed_area)) return n.id();
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeId> StoreIndex::BestIdleConfigured(Area needed_area,
+                                                     FamilyId family) const {
+  const View* view = ViewFor(family);
+  if (view == nullptr) return std::nullopt;
+  const auto it = view->idle_cfg_by_total.lower_bound({needed_area, 0});
+  if (it == view->idle_cfg_by_total.end()) return std::nullopt;
+  return NodeId{it->second};
+}
+
+StoreIndex::BusyFit StoreIndex::AnyBusyFit(Area needed_area,
+                                           FamilyId family) const {
+  const auto all_nodes = static_cast<Steps>(cached_.size());
+  const View* view = ViewFor(family);
+  if (view == nullptr) return {false, all_nodes};
+  const std::size_t pos = view->busy_total.FirstAtLeast(0, needed_area);
+  if (pos == MaxSegTree::npos) return {false, all_nodes};
+  // The reference scan early-exits at the first qualifying node (ascending
+  // id, like this view), having charged one step per node up to it.
+  return {true, static_cast<Steps>(view->ids[pos]) + 1};
+}
+
+std::optional<ReconfigPlan> StoreIndex::ReplayReclaimScan(
+    const Node& node, Area needed_area) const {
+  // Mirrors the Algorithm 1 inner loop exactly: accumulate idle-entry areas
+  // in slot order; the plan is the minimal prefix reaching the target, and
+  // under contiguous placement the freed extents must also form a
+  // big-enough hole.
+  Area accumulated = node.available_area();
+  std::vector<SlotIndex> removable;
+  std::optional<ReconfigPlan> plan;
+  node.ForEachSlot([&](SlotIndex slot, const ConfigTaskPair& pair) {
+    if (plan || !pair.idle()) return;
+    accumulated += configs_->Get(pair.config).required_area;
+    removable.push_back(slot);
+    if (accumulated < needed_area) return;
+    if (node.contiguous() &&
+        !node.CanHostAfterReclaiming(removable, needed_area)) {
+      return;
+    }
+    plan = ReconfigPlan{node.id(), removable};
+  });
+  return plan;
+}
+
+StoreIndex::AnyIdle StoreIndex::FindAnyIdle(
+    Area needed_area, FamilyId family, const std::vector<Node>& nodes) const {
+  const auto all_nodes = static_cast<Steps>(cached_.size());
+  const View* view = ViewFor(family);
+  if (view == nullptr) return {std::nullopt, all_nodes};
+  // Candidate filter: a node can satisfy Algorithm 1 only when
+  // AvailableArea plus all idle-entry areas — i.e. TotalArea minus busy
+  // areas, the `potential` summary — reaches the target. The descent
+  // enumerates exactly those nodes in ascending id, the scan's visit order.
+  std::size_t pos = 0;
+  while ((pos = view->potential.FirstAtLeast(pos, needed_area)) !=
+         MaxSegTree::npos) {
+    const Node& n = nodes[view->ids[pos]];
+    // The scan charges one step per node walked (any family) plus one per
+    // live slot of every family-compatible node it fully inspected.
+    const Steps node_steps = static_cast<Steps>(view->ids[pos]) + 1;
+    if (n.CanHost(needed_area)) {
+      // CanHost exits before the slot walk: the winner's slots are free.
+      const auto slot_steps =
+          static_cast<Steps>(view->config_count.Prefix(pos));
+      return {ReconfigPlan{n.id(), {}}, node_steps + slot_steps};
+    }
+    if (auto plan = ReplayReclaimScan(n, needed_area)) {
+      const auto slot_steps =
+          static_cast<Steps>(view->config_count.Prefix(pos + 1));
+      return {std::move(plan), node_steps + slot_steps};
+    }
+    ++pos;  // scalar candidates always succeed; a contiguous fabric can be
+            // too fragmented, in which case the scan keeps walking
+  }
+  return {std::nullopt,
+          all_nodes + static_cast<Steps>(view->config_count.Total())};
+}
+
+std::optional<NodeId> StoreIndex::RankedHost(
+    Area needed_area, HostRank rank, FamilyId family,
+    const std::vector<Node>& nodes) const {
+  const View* view = ViewFor(family);
+  if (view == nullptr) return std::nullopt;
+  switch (rank) {
+    case HostRank::kFirstFit: {
+      // First node in id order with AvailableArea >= needed that passes
+      // CanHost (the fragmentation gate only bites under contiguous
+      // placement).
+      std::size_t pos = 0;
+      while ((pos = view->available.FirstAtLeast(pos, needed_area)) !=
+             MaxSegTree::npos) {
+        const Node& n = nodes[view->ids[pos]];
+        if (n.CanHost(needed_area)) return n.id();
+        ++pos;
+      }
+      return std::nullopt;
+    }
+    case HostRank::kBestFit: {
+      for (auto it = view->all_by_avail.lower_bound({needed_area, 0});
+           it != view->all_by_avail.end(); ++it) {
+        const Node& n = nodes[it->second];
+        if (n.CanHost(needed_area)) return n.id();
+      }
+      return std::nullopt;
+    }
+    case HostRank::kWorstFit: {
+      // Walk groups of equal AvailableArea from the largest down; within a
+      // group the scan keeps the smallest id, which is the set's own order.
+      const auto floor_it = view->all_by_avail.lower_bound({needed_area, 0});
+      auto end_it = view->all_by_avail.end();
+      while (floor_it != end_it) {
+        const Area group_area = std::prev(end_it)->first;
+        const auto group_it = view->all_by_avail.lower_bound({group_area, 0});
+        for (auto it = group_it; it != end_it; ++it) {
+          const Node& n = nodes[it->second];
+          if (n.CanHost(needed_area)) return n.id();
+        }
+        end_it = group_it;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+void StoreIndex::ValidateView(const View& view, const char* label,
+                              const std::vector<Node>& nodes,
+                              const std::vector<Area>& busy_area,
+                              std::vector<std::string>& violations) const {
+  const std::size_t count = view.ids.size();
+  if (view.potential.size() != count || view.busy_total.size() != count ||
+      view.available.size() != count || view.config_count.size() != count) {
+    violations.push_back(
+        Format("index view {}: tree sizes disagree with {} members", label,
+               count));
+    return;
+  }
+  std::size_t blank_members = 0;
+  std::size_t partial_members = 0;
+  std::size_t idle_cfg_members = 0;
+  for (std::size_t pos = 0; pos < count; ++pos) {
+    if (pos > 0 && view.ids[pos - 1] >= view.ids[pos]) {
+      violations.push_back(
+          Format("index view {}: ids not strictly ascending at {}", label,
+                 pos));
+    }
+    const std::uint32_t id = view.ids[pos];
+    const Node& n = nodes[id];
+    const Area potential = n.total_area() - busy_area[id];
+    if (view.potential.Value(pos) != potential) {
+      violations.push_back(Format(
+          "index view {}: node {} potential {} != {}", label, id,
+          view.potential.Value(pos), potential));
+    }
+    const std::int64_t busy_total =
+        n.busy() ? n.total_area() : MaxSegTree::kNegInf;
+    if (view.busy_total.Value(pos) != busy_total) {
+      violations.push_back(
+          Format("index view {}: node {} busy-total stale", label, id));
+    }
+    if (view.available.Value(pos) != n.available_area()) {
+      violations.push_back(Format(
+          "index view {}: node {} available {} != {}", label, id,
+          view.available.Value(pos), n.available_area()));
+    }
+    if (view.config_count.Value(pos) !=
+        static_cast<std::int64_t>(n.config_count())) {
+      violations.push_back(
+          Format("index view {}: node {} config count stale", label, id));
+    }
+    if (view.all_by_avail.count({n.available_area(), id}) != 1) {
+      violations.push_back(
+          Format("index view {}: node {} missing from all-by-avail", label,
+                 id));
+    }
+    if (view.blank_by_total.count({n.total_area(), id}) !=
+        (n.blank() ? 1u : 0u)) {
+      violations.push_back(
+          Format("index view {}: node {} blank-set mismatch", label, id));
+    }
+    if (view.partial_by_avail.count({n.available_area(), id}) !=
+        (n.blank() ? 0u : 1u)) {
+      violations.push_back(
+          Format("index view {}: node {} partial-set mismatch", label, id));
+    }
+    const bool idle_cfg = !n.blank() && !n.busy();
+    if (view.idle_cfg_by_total.count({n.total_area(), id}) !=
+        (idle_cfg ? 1u : 0u)) {
+      violations.push_back(
+          Format("index view {}: node {} idle-cfg-set mismatch", label, id));
+    }
+    blank_members += n.blank() ? 1u : 0u;
+    partial_members += n.blank() ? 0u : 1u;
+    idle_cfg_members += idle_cfg ? 1u : 0u;
+  }
+  // Size checks catch stale extra keys the per-node membership tests above
+  // cannot see.
+  if (view.all_by_avail.size() != count ||
+      view.blank_by_total.size() != blank_members ||
+      view.partial_by_avail.size() != partial_members ||
+      view.idle_cfg_by_total.size() != idle_cfg_members) {
+    violations.push_back(
+        Format("index view {}: ordered-set sizes disagree with membership",
+               label));
+  }
+}
+
+std::vector<std::string> StoreIndex::Validate(
+    const std::vector<Node>& nodes, const std::vector<Area>& busy_area) const {
+  std::vector<std::string> violations;
+  if (cached_.size() != nodes.size()) {
+    violations.push_back(Format("index tracks {} nodes, store has {}",
+                                cached_.size(), nodes.size()));
+    return violations;
+  }
+  for (const Node& n : nodes) {
+    const std::uint32_t id = n.id().value();
+    const Snapshot& snap = cached_[id];
+    if (snap.family != n.family().value()) {
+      violations.push_back(Format("index: node {} family stale", id));
+      continue;
+    }
+    const auto it = family_views_.find(snap.family);
+    if (it == family_views_.end() ||
+        snap.family_pos >= it->second.ids.size() ||
+        it->second.ids[snap.family_pos] != id) {
+      violations.push_back(
+          Format("index: node {} family-view position stale", id));
+    }
+    const Snapshot fresh = Capture(n, busy_area[id]);
+    if (snap.total != fresh.total || snap.available != fresh.available ||
+        snap.potential != fresh.potential ||
+        snap.config_count != fresh.config_count ||
+        snap.blank != fresh.blank || snap.busy != fresh.busy) {
+      violations.push_back(Format("index: node {} snapshot stale", id));
+    }
+  }
+  ValidateView(global_, "global", nodes, busy_area, violations);
+  for (const auto& [family, view] : family_views_) {
+    ValidateView(view, Format("family {}", family).c_str(), nodes, busy_area,
+                 violations);
+  }
+  return violations;
+}
+
+}  // namespace dreamsim::resource

@@ -6,10 +6,7 @@ namespace dreamsim::sched {
 namespace {
 
 using resource::EntryRef;
-using resource::Node;
-using dreamsim::NodeId;
 using resource::ResourceStore;
-using resource::StepKind;
 
 Decision Placed(EntryRef entry, ConfigId config, Tick config_time,
                 PlacementKind kind, bool closest) {
@@ -35,25 +32,6 @@ Decision SuspendOrDiscard(const resource::Configuration& cfg,
                   ? Outcome::kSuspend
                   : Outcome::kDiscard;
   return d;
-}
-
-/// Full-mode re-configuration target: tightest idle, non-blank node whose
-/// whole fabric fits the configuration (it will be wiped first).
-std::optional<NodeId> FindBestIdleConfiguredNode(
-    ResourceStore& store, const resource::Configuration& cfg) {
-  std::optional<NodeId> best;
-  Area best_area = 0;
-  for (const Node& n : store.nodes()) {
-    store.meter().Add(StepKind::kSchedulingSearch);
-    if (!cfg.CompatibleWith(n.family())) continue;
-    if (n.blank() || n.busy()) continue;
-    if (n.total_area() < cfg.required_area) continue;
-    if (!best || n.total_area() < best_area) {
-      best = n.id();
-      best_area = n.total_area();
-    }
-  }
-  return best;
 }
 
 }  // namespace
@@ -144,9 +122,11 @@ Decision DreamSimPolicy::ScheduleFull(const resource::Task& task,
                   PlacementKind::kConfiguration, resolved.used_closest_match);
   }
 
-  // Phase 3 — Full re-configuration: wipe an idle node carrying some other
-  // configuration and configure it for this task.
-  if (const auto node_id = FindBestIdleConfiguredNode(store, cfg)) {
+  // Phase 3 — Full re-configuration: wipe the tightest idle, non-blank node
+  // whose whole fabric fits the configuration, then configure it for this
+  // task.
+  if (const auto node_id =
+          store.FindBestIdleConfiguredNode(cfg.required_area, cfg.family)) {
     store.BlankNode(*node_id);
     const EntryRef entry = store.Configure(*node_id, cfg.id);
     store.AssignTask(entry, task.id);

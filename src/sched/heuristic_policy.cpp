@@ -100,18 +100,34 @@ Decision HeuristicPolicy::Schedule(const resource::Task& task,
   {
     std::optional<NodeId> best;
     bool best_blank = false;
-    std::int64_t best_rank = 0;
-    std::size_t position = 0;
-    for (const Node& n : store.nodes()) {
-      store.meter().Add(StepKind::kSchedulingSearch);
-      ++position;
-      if (!cfg.CompatibleWith(n.family())) continue;
-      if (!n.CanHost(cfg.required_area)) continue;
-      const std::int64_t rank = Rank(n, position - 1);
-      if (!best || rank < best_rank) {
-        best = n.id();
-        best_blank = n.blank();
-        best_rank = rank;
+    if (heuristic_ == Heuristic::kFirstFit ||
+        heuristic_ == Heuristic::kBestFit ||
+        heuristic_ == Heuristic::kWorstFit) {
+      // The stateless ranks route through the store's (indexable) host
+      // search; the eligibility filter and tie-breaks match the scan below.
+      const auto rank = heuristic_ == Heuristic::kFirstFit
+                            ? resource::HostRank::kFirstFit
+                        : heuristic_ == Heuristic::kBestFit
+                            ? resource::HostRank::kBestFit
+                            : resource::HostRank::kWorstFit;
+      best = store.FindRankedHostNode(cfg.required_area, rank, cfg.family);
+      if (best) best_blank = store.node(*best).blank();
+    } else {
+      // Stateful/randomized ranks depend on scan position or policy state,
+      // so they keep the literal counted scan.
+      std::int64_t best_rank = 0;
+      std::size_t position = 0;
+      for (const Node& n : store.nodes()) {
+        store.meter().Add(StepKind::kSchedulingSearch);
+        ++position;
+        if (!cfg.CompatibleWith(n.family())) continue;
+        if (!n.CanHost(cfg.required_area)) continue;
+        const std::int64_t rank = Rank(n, position - 1);
+        if (!best || rank < best_rank) {
+          best = n.id();
+          best_blank = n.blank();
+          best_rank = rank;
+        }
       }
     }
     if (best) {

@@ -92,6 +92,10 @@ void RegisterFlags(CliParser& cli) {
   cli.AddString("waste-accounting", "on-schedule",
                 "on-schedule|on-configure|time-weighted|idle-configured");
   cli.AddBool("monitoring", true, "event-driven utilization monitoring");
+  // Performance.
+  cli.AddBool("scheduler-index", true,
+              "O(log N) indexed scheduler queries (identical decisions and "
+              "metrics; off = literal counted scans)");
   cli.AddString("csv", "", "write run/sweep rows to this CSV file");
   cli.AddString("xml", "", "write XML report(s) with this path prefix");
   cli.AddString("node-csv", "", "write the per-node detail report here");
@@ -143,6 +147,7 @@ core::SimulationConfig BuildConfig(const CliParser& cli) {
   config.network.base_latency = cli.GetInt("net-latency");
   config.network.max_jitter = cli.GetInt("net-jitter");
   config.enable_monitoring = cli.GetBool("monitoring");
+  config.scheduler_index = cli.GetBool("scheduler-index");
   config.seed = static_cast<std::uint64_t>(cli.GetInt("seed"));
 
   const std::string arrivals = cli.GetString("arrivals");
