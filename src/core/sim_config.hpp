@@ -94,6 +94,11 @@ struct SimulationConfig {
   /// "Scheduler index"). Off = reference scans, for debugging and
   /// differential validation.
   bool scheduler_index = true;
+  /// Answer suspension-queue drain queries (candidate selection on task
+  /// completion) from the queue's O(log Q) index instead of the literal
+  /// FIFO scans, under the same bit-identical contract as
+  /// `scheduler_index`. Off = reference scans.
+  bool drain_index = true;
 
   // --- Metrics ---
   WasteAccounting waste_accounting = WasteAccounting::kOnSchedule;

@@ -86,6 +86,7 @@ Simulator::Simulator(SimulationConfig config)
       monitor_(info_),
       jobs_(kernel_, tasks_) {
   store_.SetIndexed(config_.scheduler_index);
+  suspension_.SetDrainIndexed(config_.drain_index);
   Rng resource_rng(DeriveSeed(config_.seed, kStreamResources) ^ 0x5bd1e995u);
   store_.InitNodes(config_.nodes, resource_rng);
   if (config_.ship_bitstreams) {
@@ -215,8 +216,19 @@ sched::Outcome Simulator::AttemptSchedule(TaskId id, bool is_arrival) {
   throw std::logic_error("unreachable scheduling outcome");
 }
 
+resource::SusEntryAttrs Simulator::SusAttrs(const resource::Task& task) const {
+  resource::SusEntryAttrs attrs;
+  attrs.resolved_config = task.resolved_config;
+  attrs.config_family = task.resolved_config.valid()
+                            ? store_.configs().Get(task.resolved_config).family
+                            : FamilyId::invalid();
+  attrs.needed_area = task.needed_area;
+  attrs.priority = task.priority;
+  return attrs;
+}
+
 void Simulator::EnqueueSuspended(TaskId id) {
-  if (!suspension_.Add(id, store_.meter())) {
+  if (!suspension_.Add(id, SusAttrs(tasks_.Get(id)), store_.meter())) {
     // Queue overflow: the system sheds load by discarding the task.
     resource::Task& task = tasks_.Get(id);
     task.state = resource::TaskState::kDiscarded;
@@ -275,123 +287,201 @@ void Simulator::DrainSuspensionQueue(resource::EntryRef freed,
   // each visited queue entry costs one scheduler search step (this is part
   // of the effort to assign tasks to nodes, and it is what makes the
   // full-reconfiguration scenario's Fig. 9 curves grow with the queue).
+  // With the drain index enabled, candidate selection is answered from the
+  // queue's O(log Q) structures and the scan's step charges are replayed
+  // analytically — decisions and metrics are bit-identical either way.
   if (suspension_.empty()) return;
   const resource::Node& node = store_.node(freed.node);
   const std::size_t max_policy_runs = config_.suspension_batch == 0
                                           ? suspension_.size()
                                           : config_.suspension_batch;
-  const bool full_mode = config_.mode == sched::ReconfigMode::kFull;
+  if (config_.mode == sched::ReconfigMode::kFull) {
+    DrainFullMode(node, freed_config);
+  } else if (config_.priority_scheduling) {
+    DrainPartialPriority(node, freed_config, max_policy_runs);
+  } else {
+    DrainPartialFifo(node, freed_config, max_policy_runs);
+  }
+}
 
-  // One helper: re-attempt the task at `index`, removing it from the queue
-  // on success or final failure. Returns true when it was placed.
-  const auto attempt_at = [this](std::size_t index) {
-    const TaskId id = suspension_.tasks()[index];
-    store_.meter().BeginTask();
-    const sched::Outcome outcome = AttemptSchedule(id, /*is_arrival=*/false);
-    if (outcome == sched::Outcome::kPlaced ||
-        outcome == sched::Outcome::kDiscard) {
-      suspension_.RemoveAt(index, store_.meter());
-      return outcome == sched::Outcome::kPlaced;
-    }
-    // The prefilter was optimistic but the policy could not place the task
-    // anywhere: count the retry and optionally give up on it.
-    resource::Task& failed = tasks_.Get(id);
-    ++failed.sus_retry;
-    if (config_.max_suspension_retries != 0 &&
-        failed.sus_retry >= config_.max_suspension_retries) {
-      suspension_.RemoveAt(index, store_.meter());
-      failed.state = resource::TaskState::kDiscarded;
-      metrics_.OnDiscarded();
-      Emit(SimEvent::Kind::kDiscarded, id);
-    }
-    return false;
-  };
+Simulator::DrainAttempt Simulator::AttemptQueuedAt(std::size_t index) {
+  const TaskId id = suspension_.tasks()[index];
+  store_.meter().BeginTask();
+  const sched::Outcome outcome = AttemptSchedule(id, /*is_arrival=*/false);
+  if (outcome == sched::Outcome::kPlaced ||
+      outcome == sched::Outcome::kDiscard) {
+    suspension_.RemoveAt(index, store_.meter());
+    return {outcome == sched::Outcome::kPlaced, true};
+  }
+  // The prefilter was optimistic but the policy could not place the task
+  // anywhere: count the retry and optionally give up on it.
+  resource::Task& failed = tasks_.Get(id);
+  ++failed.sus_retry;
+  if (config_.max_suspension_retries != 0 &&
+      failed.sus_retry >= config_.max_suspension_retries) {
+    suspension_.RemoveAt(index, store_.meter());
+    failed.state = resource::TaskState::kDiscarded;
+    metrics_.OnDiscarded();
+    Emit(SimEvent::Kind::kDiscarded, id);
+    return {false, true};
+  }
+  // The attempt may have re-resolved the task's configuration while it
+  // stays queued; keep the indexed attributes in sync (uncharged — the
+  // reference scans re-read task state directly).
+  suspension_.RefreshAttrs(id, SusAttrs(failed));
+  return {false, false};
+}
 
-  if (full_mode) {
-    // Full reconfiguration: a queued task is executable *on this node*
-    // without reconfiguration only if it wants exactly the configuration
-    // the node carries. The traversal mirrors the original DReAMSim's
-    // RemoveTaskFromSusQueue: it checks every queued task (this full,
-    // per-completion queue walk is what makes the paper's Fig. 9 curves
-    // for the full scenario grow with the queue), keeping the oldest exact
-    // match and — only when no match exists anywhere — the oldest task the
-    // node's whole fabric could be reconfigured to fit (so nodes cannot
-    // idle forever once arrivals stop).
-    const bool by_priority = config_.priority_scheduling;
-    std::size_t match_index = 0;
-    bool has_match = false;
-    double match_priority = 0.0;
-    std::size_t fallback_index = 0;
-    bool has_fallback = false;
-    double fallback_priority = 0.0;
+void Simulator::DrainFullMode(const resource::Node& node,
+                              ConfigId freed_config) {
+  // Full reconfiguration: a queued task is executable *on this node*
+  // without reconfiguration only if it wants exactly the configuration
+  // the node carries. The traversal mirrors the original DReAMSim's
+  // RemoveTaskFromSusQueue: it checks every queued task (this full,
+  // per-completion queue walk is what makes the paper's Fig. 9 curves
+  // for the full scenario grow with the queue), keeping the oldest exact
+  // match and — only when no match exists anywhere — the oldest task the
+  // node's whole fabric could be reconfigured to fit (so nodes cannot
+  // idle forever once arrivals stop). Under priority scheduling "oldest"
+  // becomes "highest priority, FIFO tie-break" for both picks.
+  const bool by_priority = config_.priority_scheduling;
+  if (suspension_.drain_indexed()) {
+    // The reference walk inspects every queued entry exactly once.
+    store_.meter().Add(resource::StepKind::kSchedulingSearch,
+                       suspension_.size());
+    // The fallback is only consulted when no exact match exists anywhere,
+    // so its candidate set cannot contain a matching task — querying the
+    // family groups without exclusions is exact.
+    std::optional<std::size_t> pick =
+        by_priority ? suspension_.BestPriorityExactMatch(freed_config)
+                    : suspension_.OldestExactMatch(freed_config);
+    if (!pick) {
+      pick = by_priority
+                 ? suspension_.BestPriorityEligible(
+                       node.family(), node.total_area(), ConfigId::invalid())
+                 : suspension_.OldestEligible(node.family(), node.total_area(),
+                                              /*from=*/0, ConfigId::invalid());
+    }
+    if (pick) (void)AttemptQueuedAt(*pick);
+    return;
+  }
+  std::size_t match_index = 0;
+  bool has_match = false;
+  double match_priority = 0.0;
+  std::size_t fallback_index = 0;
+  bool has_fallback = false;
+  double fallback_priority = 0.0;
+  for (std::size_t i = 0; i < suspension_.size(); ++i) {
+    const resource::Task& task = tasks_.Get(suspension_.tasks()[i]);
+    store_.meter().Add(resource::StepKind::kSchedulingSearch);
+    if (task.resolved_config == freed_config) {
+      if (!has_match || (by_priority && task.priority > match_priority)) {
+        match_index = i;
+        match_priority = task.priority;
+        has_match = true;
+      }
+    } else if (task.needed_area <= node.total_area() &&
+               (!task.resolved_config.valid() ||
+                store_.configs()
+                    .Get(task.resolved_config)
+                    .CompatibleWith(node.family()))) {
+      if (!has_fallback ||
+          (by_priority && task.priority > fallback_priority)) {
+        fallback_index = i;
+        fallback_priority = task.priority;
+        has_fallback = true;
+      }
+    }
+  }
+  if (has_match) {
+    (void)AttemptQueuedAt(match_index);
+  } else if (has_fallback) {
+    (void)AttemptQueuedAt(fallback_index);
+  }
+}
+
+void Simulator::DrainPartialPriority(const resource::Node& node,
+                                     ConfigId freed_config,
+                                     std::size_t max_policy_runs) {
+  // Partial reconfiguration has "more options": a matching idle entry,
+  // spare area, or reclaimable idle regions all qualify; under priority
+  // scheduling each policy run re-walks the whole queue for the best
+  // (priority, FIFO-tie) candidate.
+  if (suspension_.drain_indexed()) {
+    for (std::size_t policy_runs = 0; policy_runs < max_policy_runs;
+         ++policy_runs) {
+      // The reference pass re-walks the (shrinking) queue every run —
+      // including the final run that finds nothing.
+      store_.meter().Add(resource::StepKind::kSchedulingSearch,
+                         suspension_.size());
+      // CouldUseNode is "exact config match, or family-compatible with
+      // needed_area within the node's could-eventually-host bound"; the
+      // store state is constant within one pass, so one bound covers it.
+      const std::optional<std::size_t> best = suspension_.BestPriorityEligible(
+          node.family(), store_.CouldEventuallyHostBound(node.id()),
+          freed_config);
+      if (!best) return;
+      const DrainAttempt attempt = AttemptQueuedAt(*best);
+      // kSuspend left the task in place; re-scanning would loop.
+      if (!attempt.placed && !attempt.removed) return;
+    }
+    return;
+  }
+  for (std::size_t policy_runs = 0; policy_runs < max_policy_runs;
+       ++policy_runs) {
+    // Full counted scan for the best (priority, FIFO-tie) candidate.
+    std::size_t best_index = 0;
+    bool found = false;
+    double best_priority = 0.0;
     for (std::size_t i = 0; i < suspension_.size(); ++i) {
       const resource::Task& task = tasks_.Get(suspension_.tasks()[i]);
       store_.meter().Add(resource::StepKind::kSchedulingSearch);
-      if (task.resolved_config == freed_config) {
-        if (!has_match || (by_priority && task.priority > match_priority)) {
-          match_index = i;
-          match_priority = task.priority;
-          has_match = true;
-        }
-      } else if (task.needed_area <= node.total_area() &&
-                 (!task.resolved_config.valid() ||
-                  store_.configs()
-                      .Get(task.resolved_config)
-                      .CompatibleWith(node.family()))) {
-        if (!has_fallback ||
-            (by_priority && task.priority > fallback_priority)) {
-          fallback_index = i;
-          fallback_priority = task.priority;
-          has_fallback = true;
-        }
+      if (!CouldUseNode(task, node, freed_config)) continue;
+      if (!found || task.priority > best_priority) {
+        best_index = i;
+        best_priority = task.priority;
+        found = true;
       }
     }
-    if (has_match) {
-      (void)attempt_at(match_index);
-    } else if (has_fallback) {
-      (void)attempt_at(fallback_index);
-    }
-    return;
+    if (!found) return;
+    const DrainAttempt attempt = AttemptQueuedAt(best_index);
+    // kSuspend left the task in place; re-scanning would loop.
+    if (!attempt.placed && !attempt.removed) return;
   }
+}
 
-  // Partial reconfiguration has "more options": a matching idle entry,
-  // spare area, or reclaimable idle regions all qualify, so the FIFO-first
-  // fitting task wins (usually via re-configuring a region) — or, under
-  // priority scheduling, the highest-priority fitting task.
-  if (config_.priority_scheduling) {
-    for (std::size_t policy_runs = 0; policy_runs < max_policy_runs;
-         ++policy_runs) {
-      // Full counted scan for the best (priority, FIFO-tie) candidate.
-      std::size_t best_index = 0;
-      bool found = false;
-      double best_priority = 0.0;
-      for (std::size_t i = 0; i < suspension_.size(); ++i) {
-        const resource::Task& task = tasks_.Get(suspension_.tasks()[i]);
-        store_.meter().Add(resource::StepKind::kSchedulingSearch);
-        if (!CouldUseNode(task, node, freed_config)) continue;
-        if (!found || task.priority > best_priority) {
-          best_index = i;
-          best_priority = task.priority;
-          found = true;
-        }
-      }
-      if (!found) return;
-      const TaskId candidate_id = suspension_.tasks()[best_index];
-      if (!attempt_at(best_index)) {
-        // kSuspend left the task in place; re-scanning would loop.
-        if (best_index < suspension_.size() &&
-            suspension_.tasks()[best_index] == candidate_id) {
-          return;
-        }
-      }
-    }
-    return;
-  }
-
+void Simulator::DrainPartialFifo(const resource::Node& node,
+                                 ConfigId freed_config,
+                                 std::size_t max_policy_runs) {
   // FIFO drain: one resumable pass; each queue entry is inspected at most
   // once per completion.
   std::size_t index = 0;
   std::size_t policy_runs = 0;
+  if (suspension_.drain_indexed()) {
+    while (index < suspension_.size() && policy_runs < max_policy_runs) {
+      const std::optional<std::size_t> next = suspension_.OldestEligible(
+          node.family(), store_.CouldEventuallyHostBound(node.id()), index,
+          freed_config);
+      if (!next) {
+        // The reference walk visits the remaining tail without a match.
+        store_.meter().Add(resource::StepKind::kSchedulingSearch,
+                           suspension_.size() - index);
+        return;
+      }
+      // Entries in [index, *next) fail the prefilter; the reference walk
+      // charges one step per visit, candidate included.
+      store_.meter().Add(resource::StepKind::kSchedulingSearch,
+                         *next - index + 1);
+      ++policy_runs;
+      const DrainAttempt attempt = AttemptQueuedAt(*next);
+      // kSuspend keeps the task at `*next`; a repeat attempt this drain
+      // would loop, so stop. (Removal leaves `*next` pointing at the next
+      // FIFO entry and the walk resumes there.)
+      if (!attempt.placed && !attempt.removed) return;
+      index = *next;
+    }
+    return;
+  }
   while (index < suspension_.size() && policy_runs < max_policy_runs) {
     const resource::Task& task = tasks_.Get(suspension_.tasks()[index]);
     store_.meter().Add(resource::StepKind::kSchedulingSearch);
@@ -400,15 +490,11 @@ void Simulator::DrainSuspensionQueue(resource::EntryRef freed,
       continue;
     }
     ++policy_runs;
-    if (!attempt_at(index)) {
-      // kSuspend keeps the task at `index`; a repeat attempt this drain
-      // would loop, so stop. (Removal cases leave `index` pointing at the
-      // next FIFO entry and the loop continues.)
-      if (index < suspension_.size() &&
-          suspension_.tasks()[index] == task.id) {
-        return;
-      }
-    }
+    const DrainAttempt attempt = AttemptQueuedAt(index);
+    // kSuspend keeps the task at `index`; a repeat attempt this drain
+    // would loop, so stop. (Removal cases leave `index` pointing at the
+    // next FIFO entry and the loop continues.)
+    if (!attempt.placed && !attempt.removed) return;
   }
 }
 

@@ -87,6 +87,9 @@ class Simulator {
 
   // --- Post-run inspection ---
   [[nodiscard]] const resource::ResourceStore& store() const { return store_; }
+  [[nodiscard]] const resource::SuspensionQueue& suspension() const {
+    return suspension_;
+  }
   [[nodiscard]] const resource::TaskStore& tasks() const { return tasks_; }
   [[nodiscard]] const SimulationConfig& config() const { return config_; }
   [[nodiscard]] const sim::Kernel& kernel() const { return kernel_; }
@@ -121,6 +124,21 @@ class Simulator {
   /// the outcome (kSuspend leaves queue management to the caller).
   sched::Outcome AttemptSchedule(TaskId id, bool is_arrival);
   void EnqueueSuspended(TaskId id);
+  /// The drain-relevant attribute snapshot the suspension queue indexes.
+  [[nodiscard]] resource::SusEntryAttrs SusAttrs(
+      const resource::Task& task) const;
+  struct DrainAttempt {
+    bool placed = false;
+    bool removed = false;  // the task left the queue (placed or discarded)
+  };
+  /// Re-attempts the queued task at FIFO `index`, removing it from the
+  /// queue on success or final failure.
+  DrainAttempt AttemptQueuedAt(std::size_t index);
+  void DrainFullMode(const resource::Node& node, ConfigId freed_config);
+  void DrainPartialPriority(const resource::Node& node, ConfigId freed_config,
+                            std::size_t max_policy_runs);
+  void DrainPartialFifo(const resource::Node& node, ConfigId freed_config,
+                        std::size_t max_policy_runs);
   /// Node-targeted queue check after a completion on `freed` (the paper's
   /// RemoveTaskFromSusQueue: find "a suitable task ... which can be
   /// executed on the node"). Full mode prefers a task whose resolved

@@ -305,6 +305,16 @@ bool ResourceStore::CouldEventuallyHost(NodeId id, Area needed_area) const {
   return ReclaimablePotential(id) >= needed_area;
 }
 
+Area ResourceStore::CouldEventuallyHostBound(NodeId id) const {
+  const Node& n = node(id);
+  // CanHost(a) holds iff a <= the hostable-now bound: the largest free
+  // extent under contiguous placement, the available area otherwise.
+  const Area now =
+      n.contiguous() ? n.layout().largest_free_extent() : n.available_area();
+  if (n.idle_entry_count() == 0) return now;
+  return std::max(now, ReclaimablePotential(id));
+}
+
 void ResourceStore::RemoveFromBlank(NodeId node_id) {
   const std::size_t pos = blank_pos_[node_id.value()];
   if (pos == kNotBlank) throw std::logic_error("node missing from blank list");

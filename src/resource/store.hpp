@@ -96,6 +96,11 @@ class ResourceStore {
   /// (the reference accumulation is not either).
   [[nodiscard]] bool CouldEventuallyHost(NodeId id, Area needed_area) const;
 
+  /// The threshold form of CouldEventuallyHost: the largest area for which
+  /// it returns true (it is monotone in `needed_area`). Lets the drain
+  /// index evaluate the prefilter for a whole queue with one bound.
+  [[nodiscard]] Area CouldEventuallyHostBound(NodeId id) const;
+
   // --- Counted scheduler queries (StepKind::kSchedulingSearch) ---
 
   /// FindBestNode(): among idle entries configured with `config`, the one

@@ -4,11 +4,20 @@
 // sufficient TotalArea exists — wait here; "each time a node finishes
 // executing a task, the suspension queue is checked ... to determine if a
 // suitable task is waiting in the queue which can be executed".
+//
+// With the drain index enabled (the default) the queue keeps a
+// SusQueueIndex in sync so membership tests and drain candidate selection
+// run in O(log Q) host work; every counted operation still charges the
+// WorkloadMeter exactly what the literal FIFO scan would have charged
+// (DESIGN.md "Scheduler index").
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <optional>
+#include <unordered_map>
 
+#include "resource/sus_queue_index.hpp"
 #include "resource/workload_meter.hpp"
 #include "util/types.hpp"
 
@@ -22,8 +31,13 @@ class SuspensionQueue {
   explicit SuspensionQueue(std::size_t capacity = 0) : capacity_(capacity) {}
 
   /// AddTaskToSusQueue(): appends the task. Returns false when the queue is
-  /// at capacity (caller then discards the task).
-  [[nodiscard]] bool Add(TaskId task, WorkloadMeter& meter);
+  /// at capacity (caller then discards the task). The overload without
+  /// attributes indexes the task with default attributes.
+  [[nodiscard]] bool Add(TaskId task, WorkloadMeter& meter) {
+    return Add(task, SusEntryAttrs{}, meter);
+  }
+  [[nodiscard]] bool Add(TaskId task, const SusEntryAttrs& attrs,
+                         WorkloadMeter& meter);
 
   /// RemoveTaskFromSusQueue(): removes and returns the first (oldest) task
   /// satisfying `pred`; counted scan in FIFO order.
@@ -34,23 +48,66 @@ class SuspensionQueue {
       meter.Add(StepKind::kHousekeeping);
       if (pred(queue_[i])) {
         const TaskId task = queue_[i];
-        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        EraseAt(i);
         return task;
       }
     }
     return std::nullopt;
   }
 
-  /// SearchSusQueue(): counted membership test.
+  /// SearchSusQueue(): counted membership test. Answered from the index
+  /// (O(log Q) host work) when enabled, by literal scan otherwise; the
+  /// meter charge is the scan's either way (position + 1 on a hit, queue
+  /// size on a miss).
   [[nodiscard]] bool Contains(TaskId task, WorkloadMeter& meter) const;
 
   /// Removes a specific task (e.g. when its retry budget is exhausted).
+  /// Same indexed-or-scan split and charge contract as Contains().
   bool Remove(TaskId task, WorkloadMeter& meter);
 
   /// Removes the task at FIFO position `index` (0 = oldest). Used by
   /// callers that already paid the traversal to `index`; charges one
   /// housekeeping step for the unlink itself.
   void RemoveAt(std::size_t index, WorkloadMeter& meter);
+
+  /// Re-syncs the indexed attributes of a queued task after a failed
+  /// drain attempt may have rewritten its resolved config. Charges
+  /// nothing — the reference scans re-read task state for free.
+  void RefreshAttrs(TaskId task, const SusEntryAttrs& attrs);
+
+  /// Enables or disables the drain index, rebuilding it from the current
+  /// queue content (attributes are retained across toggles).
+  void SetDrainIndexed(bool enabled);
+  [[nodiscard]] bool drain_indexed() const { return index_ != nullptr; }
+
+  // --- Indexed drain queries (require drain_indexed()) ---
+  // Decision mirrors of the Simulator::DrainSuspensionQueue scans; the
+  // caller charges the analytic step counts. See SusQueueIndex.
+
+  [[nodiscard]] std::optional<std::size_t> OldestExactMatch(
+      ConfigId config) const {
+    return index_->OldestExactMatch(config);
+  }
+  [[nodiscard]] std::optional<std::size_t> BestPriorityExactMatch(
+      ConfigId config) const {
+    return index_->BestPriorityExactMatch(config);
+  }
+  /// `from` is a FIFO position (entries before it are skipped).
+  [[nodiscard]] std::optional<std::size_t> OldestEligible(
+      FamilyId family, Area area_bound, std::size_t from,
+      ConfigId match_config) const {
+    return index_->OldestEligible(family, area_bound,
+                                  from == 0 ? TaskId::invalid() : queue_[from],
+                                  match_config);
+  }
+  [[nodiscard]] std::optional<std::size_t> BestPriorityEligible(
+      FamilyId family, Area area_bound, ConfigId match_config) const {
+    return index_->BestPriorityEligible(family, area_bound, match_config);
+  }
+
+  /// Cross-checks the index against the queue (empty = consistent; always
+  /// empty when the index is disabled).
+  [[nodiscard]] std::vector<std::string> ValidateIndex() const;
 
   [[nodiscard]] std::size_t size() const { return queue_.size(); }
   [[nodiscard]] bool empty() const { return queue_.empty(); }
@@ -60,8 +117,14 @@ class SuspensionQueue {
   [[nodiscard]] const std::deque<TaskId>& tasks() const { return queue_; }
 
  private:
+  /// Unlinks position `index` from the queue, the attribute map, and the
+  /// index (uncounted; callers charge per their own contract).
+  void EraseAt(std::size_t index);
+
   std::size_t capacity_;
   std::deque<TaskId> queue_;
+  std::unordered_map<std::uint32_t, SusEntryAttrs> attrs_;  // by TaskId value
+  std::unique_ptr<SusQueueIndex> index_;
 };
 
 }  // namespace dreamsim::resource

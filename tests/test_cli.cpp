@@ -56,6 +56,20 @@ TEST(CliParser, BooleanExplicitValues) {
   EXPECT_FALSE(cli.GetBool("b"));
 }
 
+TEST(CliParser, PerformanceTogglesMirrorTheTool) {
+  // The dreamsim tool registers both index toggles default-on; either can
+  // be disabled to fall back to the reference scans.
+  CliParser cli("test");
+  cli.AddBool("scheduler-index", true, "");
+  cli.AddBool("drain-index", true, "");
+  ASSERT_TRUE(ParseArgs(cli, {}));
+  EXPECT_TRUE(cli.GetBool("scheduler-index"));
+  EXPECT_TRUE(cli.GetBool("drain-index"));
+  ASSERT_TRUE(ParseArgs(cli, {"--drain-index=false", "--scheduler-index=off"}));
+  EXPECT_FALSE(cli.GetBool("scheduler-index"));
+  EXPECT_FALSE(cli.GetBool("drain-index"));
+}
+
 TEST(CliParser, UnknownOptionFails) {
   CliParser cli("test");
   ASSERT_FALSE(ParseArgs(cli, {"--nope=1"}));

@@ -109,5 +109,77 @@ TEST(SuspensionQueue, PreservesFifoAcrossMixedOps) {
   EXPECT_EQ(order, (std::vector<std::uint32_t>{1, 3, 4, 5, 9}));
 }
 
+SusEntryAttrs Attrs(std::uint32_t config, Area area, double priority,
+                    std::uint32_t family = FamilyId::kInvalidValue) {
+  SusEntryAttrs a;
+  a.resolved_config = ConfigId{config};
+  a.config_family = FamilyId{family};
+  a.needed_area = area;
+  a.priority = priority;
+  return a;
+}
+
+TEST(SuspensionQueue, IndexedChargesMatchTheScanContract) {
+  // Contains/Remove answered from the index still charge what the literal
+  // FIFO scan would have: position + 1 on a hit, queue size on a miss.
+  SuspensionQueue q;
+  q.SetDrainIndexed(true);
+  WorkloadMeter meter;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    (void)q.Add(TaskId{i}, Attrs(i, 100, 0.0), meter);
+  }
+  const Steps base = meter.housekeeping_steps_total();
+  EXPECT_TRUE(q.Contains(TaskId{3}, meter));
+  EXPECT_EQ(meter.housekeeping_steps_total(), base + 4);  // positions 0..3
+  EXPECT_FALSE(q.Contains(TaskId{42}, meter));
+  EXPECT_EQ(meter.housekeeping_steps_total(), base + 9);  // full miss scan
+  EXPECT_TRUE(q.Remove(TaskId{1}, meter));
+  EXPECT_EQ(meter.housekeeping_steps_total(), base + 11);  // positions 0..1
+  EXPECT_FALSE(q.Remove(TaskId{42}, meter));
+  EXPECT_EQ(meter.housekeeping_steps_total(), base + 15);  // 4 remaining
+}
+
+TEST(SuspensionQueue, IndexedDrainQueriesPickScanWinners) {
+  SuspensionQueue q;
+  q.SetDrainIndexed(true);
+  WorkloadMeter meter;
+  (void)q.Add(TaskId{0}, Attrs(7, 900, 1.0), meter);
+  (void)q.Add(TaskId{1}, Attrs(5, 400, 3.0), meter);
+  (void)q.Add(TaskId{2}, Attrs(7, 300, 9.0), meter);
+  (void)q.Add(TaskId{3}, Attrs(5, 200, 3.0), meter);
+  // Oldest vs best-priority exact matches for config 5.
+  EXPECT_EQ(q.OldestExactMatch(ConfigId{5}), std::optional<std::size_t>{1});
+  // Equal priorities: the FIFO-older entry wins.
+  EXPECT_EQ(q.BestPriorityExactMatch(ConfigId{5}),
+            std::optional<std::size_t>{1});
+  // Area-bounded eligibility (family-less tasks match any family).
+  EXPECT_EQ(q.OldestEligible(FamilyId::invalid(), 350, 0, ConfigId::invalid()),
+            std::optional<std::size_t>{2});
+  EXPECT_EQ(q.OldestEligible(FamilyId::invalid(), 350, 3, ConfigId::invalid()),
+            std::optional<std::size_t>{3});
+  // The exact-match rule admits config 7 regardless of its area.
+  EXPECT_EQ(q.OldestEligible(FamilyId::invalid(), 100, 0, ConfigId{7}),
+            std::optional<std::size_t>{0});
+  EXPECT_EQ(q.BestPriorityEligible(FamilyId::invalid(), 500,
+                                   ConfigId::invalid()),
+            std::optional<std::size_t>{2});
+  EXPECT_EQ(q.OldestEligible(FamilyId::invalid(), 100, 0, ConfigId::invalid()),
+            std::nullopt);
+}
+
+TEST(SuspensionQueue, IndexRebuildsAcrossToggle) {
+  SuspensionQueue q;
+  WorkloadMeter meter;
+  (void)q.Add(TaskId{4}, Attrs(2, 700, 5.0), meter);
+  (void)q.Add(TaskId{5}, Attrs(3, 600, 1.0), meter);
+  q.SetDrainIndexed(true);  // rebuild from retained attributes
+  EXPECT_TRUE(q.ValidateIndex().empty());
+  EXPECT_EQ(q.OldestExactMatch(ConfigId{3}), std::optional<std::size_t>{1});
+  q.RefreshAttrs(TaskId{5}, Attrs(2, 600, 1.0));
+  EXPECT_EQ(q.OldestExactMatch(ConfigId{3}), std::nullopt);
+  EXPECT_EQ(q.OldestExactMatch(ConfigId{2}), std::optional<std::size_t>{0});
+  EXPECT_TRUE(q.ValidateIndex().empty());
+}
+
 }  // namespace
 }  // namespace dreamsim::resource

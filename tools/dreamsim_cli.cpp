@@ -96,6 +96,9 @@ void RegisterFlags(CliParser& cli) {
   cli.AddBool("scheduler-index", true,
               "O(log N) indexed scheduler queries (identical decisions and "
               "metrics; off = literal counted scans)");
+  cli.AddBool("drain-index", true,
+              "O(log Q) indexed suspension-queue drain (identical decisions "
+              "and metrics; off = literal counted scans)");
   cli.AddString("csv", "", "write run/sweep rows to this CSV file");
   cli.AddString("xml", "", "write XML report(s) with this path prefix");
   cli.AddString("node-csv", "", "write the per-node detail report here");
@@ -148,6 +151,7 @@ core::SimulationConfig BuildConfig(const CliParser& cli) {
   config.network.max_jitter = cli.GetInt("net-jitter");
   config.enable_monitoring = cli.GetBool("monitoring");
   config.scheduler_index = cli.GetBool("scheduler-index");
+  config.drain_index = cli.GetBool("drain-index");
   config.seed = static_cast<std::uint64_t>(cli.GetInt("seed"));
 
   const std::string arrivals = cli.GetString("arrivals");
