@@ -1,0 +1,86 @@
+// Deterministic fault injection for the node population (DESIGN.md §10).
+//
+// Two sources of failure/repair events, both independent of scheduler state
+// so the indexed and scan fast paths see the exact same fault sequence:
+//   - a seeded per-node MTBF/MTTR renewal process (exponential delays drawn
+//     from a dedicated RNG stream, in event-execution order), and
+//   - an explicit scripted event list for tests and --fault-script.
+//
+// The paper's node model has no failures; every figure-facing default keeps
+// the model disabled (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dreamsim::core {
+
+enum class FaultAction : std::uint8_t { kFail, kRepair };
+
+[[nodiscard]] std::string_view ToString(FaultAction action);
+
+/// One scripted fault event: at tick `at`, apply `action` to `node`.
+/// Events that would not change the node's state (failing a failed node,
+/// repairing a healthy one) are ignored.
+struct FaultEvent {
+  Tick at = 0;
+  NodeId node;
+  FaultAction action = FaultAction::kFail;
+};
+
+/// Fault-process parameters. `mtbf <= 0` disables the random process;
+/// `mttr <= 0` makes random failures permanent (no repair is scheduled).
+/// Scripted events apply regardless of the process settings.
+struct FaultParams {
+  double mtbf = 0.0;  ///< Mean ticks between failures, per node.
+  double mttr = 0.0;  ///< Mean ticks to repair a failed node.
+  std::vector<FaultEvent> script;
+
+  [[nodiscard]] bool enabled() const { return mtbf > 0.0 || !script.empty(); }
+  [[nodiscard]] bool process_enabled() const { return mtbf > 0.0; }
+  [[nodiscard]] bool repairs_enabled() const { return mttr > 0.0; }
+};
+
+/// Parses a --fault-script specification: comma- or semicolon-separated
+/// `tick:node:fail` / `tick:node:repair` entries, e.g.
+/// "100:3:fail,250:3:repair". Whitespace around entries is allowed; an
+/// empty spec yields an empty script. Throws std::invalid_argument on bad
+/// syntax.
+[[nodiscard]] std::vector<FaultEvent> ParseFaultScript(std::string_view spec);
+
+/// Renders a script back into the ParseFaultScript() format (diagnostics).
+[[nodiscard]] std::string FormatFaultScript(
+    const std::vector<FaultEvent>& script);
+
+/// Seeded delay source for the MTBF/MTTR renewal process. Delays are drawn
+/// lazily in event-execution order, which the kernel's (tick, priority,
+/// sequence) ordering makes deterministic and independent of scheduler
+/// decisions — the bit-identity contract's fault half.
+class FaultModel {
+ public:
+  FaultModel(FaultParams params, std::uint64_t seed)
+      : params_(std::move(params)), rng_(seed) {}
+
+  [[nodiscard]] const FaultParams& params() const { return params_; }
+  [[nodiscard]] bool enabled() const { return params_.enabled(); }
+
+  /// Next time-to-failure for one node: exponential with mean `mtbf`,
+  /// clamped to at least one tick.
+  [[nodiscard]] Tick NextFailureDelay() { return Draw(params_.mtbf); }
+
+  /// Next time-to-repair: exponential with mean `mttr`, clamped likewise.
+  [[nodiscard]] Tick NextRepairDelay() { return Draw(params_.mttr); }
+
+ private:
+  [[nodiscard]] Tick Draw(double mean);
+
+  FaultParams params_;
+  Rng rng_;
+};
+
+}  // namespace dreamsim::core

@@ -59,6 +59,21 @@ struct MetricsReport {
   std::uint64_t bitstream_misses = 0;
   Tick bitstream_transfer_time = 0;
 
+  // Fault injection (DESIGN.md §10; all zero in fault-free runs)
+  std::uint64_t failures_injected = 0;
+  std::uint64_t repairs_completed = 0;
+  /// Running tasks killed by node failures (one task can count repeatedly).
+  std::uint64_t tasks_killed = 0;
+  /// Tasks that were killed at least once and still completed.
+  std::uint64_t tasks_recovered = 0;
+  /// Tasks that were killed at least once and ended discarded.
+  std::uint64_t tasks_lost_to_failure = 0;
+  /// Area×time of partially executed work destroyed by failures.
+  std::uint64_t lost_work_area_ticks = 0;
+  /// Summed node downtime (failure to repair, or to run end if never
+  /// repaired).
+  Tick total_downtime = 0;
+
   // Distribution summaries
   OnlineStats waiting_time_stats;
   OnlineStats turnaround_stats;

@@ -78,6 +78,16 @@ void WriteXmlReport(std::ostream& out, const MetricsReport& r) {
   xml.Close();
   xml.Close();
 
+  xml.Open("faults");
+  xml.Element("failures-injected", r.failures_injected);
+  xml.Element("repairs-completed", r.repairs_completed);
+  xml.Element("tasks-killed", r.tasks_killed);
+  xml.Element("tasks-recovered", r.tasks_recovered);
+  xml.Element("tasks-lost-to-failure", r.tasks_lost_to_failure);
+  xml.Element("lost-work-area-ticks", r.lost_work_area_ticks);
+  xml.Element("total-downtime", static_cast<std::int64_t>(r.total_downtime));
+  xml.Close();
+
   xml.Finish();
 }
 
@@ -101,7 +111,14 @@ std::vector<std::string> CsvReportHeader() {
           "avg_scheduling_steps_per_task",
           "total_scheduler_workload",
           "total_used_nodes",
-          "total_simulation_time"};
+          "total_simulation_time",
+          "failures_injected",
+          "repairs_completed",
+          "tasks_killed",
+          "tasks_recovered",
+          "tasks_lost_to_failure",
+          "lost_work_area_ticks",
+          "total_downtime"};
 }
 
 std::vector<std::string> CsvReportRow(const MetricsReport& r) {
@@ -124,7 +141,14 @@ std::vector<std::string> CsvReportRow(const MetricsReport& r) {
           Format("{}", r.avg_scheduling_steps_per_task),
           Format("{}", r.total_scheduler_workload),
           Format("{}", r.total_used_nodes),
-          Format("{}", r.total_simulation_time)};
+          Format("{}", r.total_simulation_time),
+          Format("{}", r.failures_injected),
+          Format("{}", r.repairs_completed),
+          Format("{}", r.tasks_killed),
+          Format("{}", r.tasks_recovered),
+          Format("{}", r.tasks_lost_to_failure),
+          Format("{}", r.lost_work_area_ticks),
+          Format("{}", r.total_downtime)};
 }
 
 void WriteCsvReports(std::ostream& out,
@@ -156,6 +180,15 @@ std::string RenderReportTable(const MetricsReport& r) {
   row("total scheduler workload", Format("{}", r.total_scheduler_workload));
   row("total used nodes", Format("{}", r.total_used_nodes));
   row("total simulation time", Format("{}", r.total_simulation_time));
+  if (r.failures_injected > 0) {
+    row("node failures injected", Format("{}", r.failures_injected));
+    row("node repairs completed", Format("{}", r.repairs_completed));
+    row("tasks killed by failures", Format("{}", r.tasks_killed));
+    row("tasks recovered after kill", Format("{}", r.tasks_recovered));
+    row("tasks lost to failures", Format("{}", r.tasks_lost_to_failure));
+    row("lost work (area-ticks)", Format("{}", r.lost_work_area_ticks));
+    row("total node downtime", Format("{}", r.total_downtime));
+  }
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/fault_model.hpp"
 #include "net/network.hpp"
 #include "resource/config.hpp"
 #include "resource/node.hpp"
@@ -99,6 +100,11 @@ struct SimulationConfig {
   /// FIFO scans, under the same bit-identical contract as
   /// `scheduler_index`. Off = reference scans.
   bool drain_index = true;
+
+  // --- Fault injection (DESIGN.md §10; disabled by default) ---
+  /// Node failure/repair model: a seeded MTBF/MTTR process plus scripted
+  /// events. Disabled by default — every paper figure is fault-free.
+  FaultParams faults{};
 
   // --- Metrics ---
   WasteAccounting waste_accounting = WasteAccounting::kOnSchedule;

@@ -7,6 +7,7 @@
 #include "ptype/catalogue.hpp"
 #include "sched/dreamsim_policy.hpp"
 #include "sched/heuristic_policy.hpp"
+#include "util/fmt.hpp"
 #include "util/log.hpp"
 
 namespace dreamsim::core {
@@ -17,6 +18,7 @@ constexpr std::uint64_t kStreamWorkload = 1;
 constexpr std::uint64_t kStreamResources = 2;
 constexpr std::uint64_t kStreamPolicy = 3;
 constexpr std::uint64_t kStreamNetwork = 4;
+constexpr std::uint64_t kStreamFaults = 5;
 
 resource::ConfigCatalogue BuildConfigs(const SimulationConfig& config,
                                        Rng& rng) {
@@ -62,6 +64,9 @@ std::string_view ToString(SimEvent::Kind kind) {
     case SimEvent::Kind::kSuspended: return "suspended";
     case SimEvent::Kind::kDiscarded: return "discarded";
     case SimEvent::Kind::kCompleted: return "completed";
+    case SimEvent::Kind::kKilled: return "killed";
+    case SimEvent::Kind::kNodeFailed: return "node-failed";
+    case SimEvent::Kind::kNodeRepaired: return "node-repaired";
   }
   return "?";
 }
@@ -84,11 +89,16 @@ Simulator::Simulator(SimulationConfig config)
       metrics_(config_.waste_accounting),
       info_(store_),
       monitor_(info_),
-      jobs_(kernel_, tasks_) {
+      jobs_(kernel_, tasks_),
+      faults_(config_.faults, DeriveSeed(config_.seed, kStreamFaults)) {
   store_.SetIndexed(config_.scheduler_index);
   suspension_.SetDrainIndexed(config_.drain_index);
   Rng resource_rng(DeriveSeed(config_.seed, kStreamResources) ^ 0x5bd1e995u);
   store_.InitNodes(config_.nodes, resource_rng);
+  if (faults_.enabled()) {
+    fault_process_events_.resize(store_.node_count());
+    failed_since_.assign(store_.node_count(), kNoTick);
+  }
   if (config_.ship_bitstreams) {
     bitstream_caches_.assign(
         store_.node_count(),
@@ -117,7 +127,15 @@ Simulator::CacheStats Simulator::bitstream_cache_stats() const {
 }
 
 TaskId Simulator::SubmitTaskAt(const workload::GeneratedTask& task, Tick at) {
-  return jobs_.SubmitOne(task, at, [this](TaskId id) { HandleArrival(id); });
+  // A submission into a fully drained system revives the fault processes
+  // that NoteTerminal() shut down (graph sessions submit from hooks).
+  const bool was_drained =
+      faults_.enabled() && terminal_tasks_ >= submitted_tasks_;
+  ++submitted_tasks_;
+  const TaskId id =
+      jobs_.SubmitOne(task, at, [this](TaskId tid) { HandleArrival(tid); });
+  if (was_drained) RearmFaults();
+  return id;
 }
 
 MetricsReport Simulator::Run() {
@@ -129,7 +147,8 @@ MetricsReport Simulator::Run() {
 MetricsReport Simulator::RunWithWorkload(const workload::Workload& wl) {
   if (ran_) throw std::logic_error("Simulator instances are single-use");
   ran_ = true;
-  (void)jobs_.Submit(wl, [this](TaskId id) { HandleArrival(id); });
+  submitted_tasks_ += jobs_.Submit(wl, [this](TaskId id) { HandleArrival(id); });
+  if (faults_.enabled() && submitted_tasks_ > terminal_tasks_) StartFaults();
   (void)kernel_.Run();
   return FinishReport();
 }
@@ -194,8 +213,19 @@ sched::Outcome Simulator::AttemptSchedule(TaskId id, bool is_arrival) {
       }
       const Tick span = task.comm_time + task.config_wait + execution;
       const resource::EntryRef entry = decision.entry;
-      kernel_.ScheduleAfter(span, sim::EventPriority::kCompletion,
-                            [this, id, entry] { HandleCompletion(id, entry); });
+      const sim::EventHandle completion =
+          kernel_.ScheduleAfter(span, sim::EventPriority::kCompletion,
+                                [this, id, entry] {
+                                  HandleCompletion(id, entry);
+                                });
+      // Only a node failure ever needs to revoke a completion; fault-free
+      // runs skip the handle bookkeeping entirely.
+      if (faults_.enabled()) {
+        if (completion_events_.size() <= id.value()) {
+          completion_events_.resize(id.value() + 1);
+        }
+        completion_events_[id.value()] = completion;
+      }
       DREAMSIM_LOG(LogLevel::kDebug,
                    "t={} task {} placed on node {} slot {} via {}", now,
                    id.value(), entry.node.value(), entry.slot,
@@ -208,6 +238,7 @@ sched::Outcome Simulator::AttemptSchedule(TaskId id, bool is_arrival) {
       task.state = resource::TaskState::kDiscarded;
       metrics_.OnDiscarded();
       Emit(SimEvent::Kind::kDiscarded, id);
+      NoteTerminal();
       DREAMSIM_LOG(LogLevel::kDebug, "t={} task {} discarded", kernel_.now(),
                    id.value());
       return decision.outcome;
@@ -234,6 +265,7 @@ void Simulator::EnqueueSuspended(TaskId id) {
     task.state = resource::TaskState::kDiscarded;
     metrics_.OnDiscarded();
     Emit(SimEvent::Kind::kDiscarded, id);
+    NoteTerminal();
     DREAMSIM_LOG(LogLevel::kWarning,
                  "t={} suspension queue full; task {} discarded",
                  kernel_.now(), id.value());
@@ -244,6 +276,9 @@ void Simulator::HandleCompletion(TaskId id, resource::EntryRef entry) {
   resource::Task& task = tasks_.Get(id);
   task.completion_time = kernel_.now();
   task.state = resource::TaskState::kCompleted;
+  if (id.value() < completion_events_.size()) {
+    completion_events_[id.value()] = {};
+  }
   const ConfigId freed_config = store_.node(entry.node).Slot(entry.slot).config;
   const TaskId released = store_.ReleaseTask(entry);
   if (released != id) {
@@ -251,7 +286,8 @@ void Simulator::HandleCompletion(TaskId id, resource::EntryRef entry) {
   }
   metrics_.OnCompleted(task);
   Emit(SimEvent::Kind::kCompleted, id, entry.node, freed_config);
-  DrainSuspensionQueue(entry, freed_config);
+  NoteTerminal();
+  DrainSuspensionQueue(entry.node, freed_config);
   if (config_.enable_monitoring) {
     monitor_.Observe(kernel_.now(), suspension_.size());
   }
@@ -279,7 +315,7 @@ bool Simulator::CouldUseNode(const resource::Task& task,
   return store_.CouldEventuallyHost(node.id(), task.needed_area);
 }
 
-void Simulator::DrainSuspensionQueue(resource::EntryRef freed,
+void Simulator::DrainSuspensionQueue(NodeId freed_node,
                                      ConfigId freed_config) {
   // "Each time a node finishes executing a task, the suspension queue is
   // checked using this method to determine if a suitable task is waiting in
@@ -291,7 +327,7 @@ void Simulator::DrainSuspensionQueue(resource::EntryRef freed,
   // queue's O(log Q) structures and the scan's step charges are replayed
   // analytically — decisions and metrics are bit-identical either way.
   if (suspension_.empty()) return;
-  const resource::Node& node = store_.node(freed.node);
+  const resource::Node& node = store_.node(freed_node);
   const std::size_t max_policy_runs = config_.suspension_batch == 0
                                           ? suspension_.size()
                                           : config_.suspension_batch;
@@ -323,6 +359,7 @@ Simulator::DrainAttempt Simulator::AttemptQueuedAt(std::size_t index) {
     failed.state = resource::TaskState::kDiscarded;
     metrics_.OnDiscarded();
     Emit(SimEvent::Kind::kDiscarded, id);
+    NoteTerminal();
     return {false, true};
   }
   // The attempt may have re-resolved the task's configuration while it
@@ -351,10 +388,14 @@ void Simulator::DrainFullMode(const resource::Node& node,
                        suspension_.size());
     // The fallback is only consulted when no exact match exists anywhere,
     // so its candidate set cannot contain a matching task — querying the
-    // family groups without exclusions is exact.
-    std::optional<std::size_t> pick =
-        by_priority ? suspension_.BestPriorityExactMatch(freed_config)
-                    : suspension_.OldestExactMatch(freed_config);
+    // family groups without exclusions is exact. A repair drain passes an
+    // invalid freed_config (a blank revived node carries nothing to reuse),
+    // skipping the exact-match pick entirely.
+    std::optional<std::size_t> pick;
+    if (freed_config.valid()) {
+      pick = by_priority ? suspension_.BestPriorityExactMatch(freed_config)
+                         : suspension_.OldestExactMatch(freed_config);
+    }
     if (!pick) {
       pick = by_priority
                  ? suspension_.BestPriorityEligible(
@@ -374,7 +415,7 @@ void Simulator::DrainFullMode(const resource::Node& node,
   for (std::size_t i = 0; i < suspension_.size(); ++i) {
     const resource::Task& task = tasks_.Get(suspension_.tasks()[i]);
     store_.meter().Add(resource::StepKind::kSchedulingSearch);
-    if (task.resolved_config == freed_config) {
+    if (freed_config.valid() && task.resolved_config == freed_config) {
       if (!has_match || (by_priority && task.priority > match_priority)) {
         match_index = i;
         match_priority = task.priority;
@@ -509,6 +550,7 @@ MetricsReport Simulator::FinishReport() {
     task.state = resource::TaskState::kDiscarded;
     metrics_.OnDiscarded();
     Emit(SimEvent::Kind::kDiscarded, *id);
+    NoteTerminal();
   }
   utilization_ = monitor_.Finish(end);
   MetricsReport report = metrics_.Finish(config_, policy_->name(), store_, end);
@@ -516,7 +558,165 @@ MetricsReport Simulator::FinishReport() {
   report.bitstream_hits = cache.hits;
   report.bitstream_misses = cache.misses;
   report.bitstream_transfer_time = bitstream_transfer_total_;
+  report.failures_injected = failures_injected_;
+  report.repairs_completed = repairs_completed_;
+  report.tasks_killed = tasks_killed_;
+  report.lost_work_area_ticks = lost_work_area_ticks_;
+  Tick downtime = downtime_total_;
+  for (const Tick since : failed_since_) {
+    if (since != kNoTick) downtime += end - since;  // down through run end
+  }
+  report.total_downtime = downtime;
+  if (faults_.enabled()) {
+    for (const resource::Task& task : tasks_.all()) {
+      if (task.kill_count == 0) continue;
+      if (task.state == resource::TaskState::kCompleted) {
+        ++report.tasks_recovered;
+      } else if (task.state == resource::TaskState::kDiscarded) {
+        ++report.tasks_lost_to_failure;
+      }
+    }
+  }
   return report;
+}
+
+// --- Fault injection (DESIGN.md §10) ---
+
+void Simulator::StartFaults() {
+  for (const FaultEvent& e : faults_.params().script) {
+    if (!e.node.valid() || e.node.value() >= store_.node_count()) {
+      throw std::invalid_argument(
+          Format("fault script names unknown node {}", e.node.value()));
+    }
+    fault_script_events_.push_back(kernel_.ScheduleAt(
+        e.at, sim::EventPriority::kControl,
+        [this, e] { ApplyFault(e.node, e.action); }));
+  }
+  if (faults_.params().process_enabled()) {
+    for (std::size_t i = 0; i < store_.node_count(); ++i) {
+      ArmFailure(NodeId{static_cast<std::uint32_t>(i)});
+    }
+  }
+}
+
+void Simulator::ArmFailure(NodeId node) {
+  if (terminal_tasks_ >= submitted_tasks_) return;
+  fault_process_events_[node.value()] = kernel_.ScheduleAfter(
+      faults_.NextFailureDelay(), sim::EventPriority::kControl, [this, node] {
+        fault_process_events_[node.value()] = {};
+        ApplyFault(node, FaultAction::kFail);
+        if (faults_.params().repairs_enabled()) ArmRepair(node);
+      });
+}
+
+void Simulator::ArmRepair(NodeId node) {
+  if (terminal_tasks_ >= submitted_tasks_) return;
+  fault_process_events_[node.value()] = kernel_.ScheduleAfter(
+      faults_.NextRepairDelay(), sim::EventPriority::kControl, [this, node] {
+        fault_process_events_[node.value()] = {};
+        ApplyFault(node, FaultAction::kRepair);
+        ArmFailure(node);
+      });
+}
+
+void Simulator::RearmFaults() {
+  if (!faults_.params().process_enabled()) return;
+  for (std::size_t i = 0; i < store_.node_count(); ++i) {
+    if (fault_process_events_[i].valid()) continue;
+    const NodeId id{static_cast<std::uint32_t>(i)};
+    if (store_.node(id).failed()) {
+      if (faults_.params().repairs_enabled()) ArmRepair(id);
+    } else {
+      ArmFailure(id);
+    }
+  }
+}
+
+void Simulator::ApplyFault(NodeId node, FaultAction action) {
+  // Once the workload drained, late-cancelled stragglers are no-ops; so are
+  // scripted events that lost the race against the random process.
+  if (terminal_tasks_ >= submitted_tasks_) return;
+  if (action == FaultAction::kFail) {
+    if (!store_.node(node).failed()) HandleNodeFailure(node);
+  } else if (store_.node(node).failed()) {
+    HandleNodeRepair(node);
+  }
+}
+
+void Simulator::HandleNodeFailure(NodeId node_id) {
+  const Tick now = kernel_.now();
+  ++failures_injected_;
+  failed_since_[node_id.value()] = now;
+  Emit(SimEvent::Kind::kNodeFailed, TaskId::invalid(), node_id);
+  DREAMSIM_LOG(LogLevel::kDebug, "t={} node {} failed", now, node_id.value());
+  const std::vector<TaskId> killed = store_.FailNode(node_id);
+  for (const TaskId id : killed) {
+    resource::Task& task = tasks_.Get(id);
+    if (id.value() < completion_events_.size() &&
+        completion_events_[id.value()].valid()) {
+      (void)kernel_.Cancel(completion_events_[id.value()]);
+      completion_events_[id.value()] = {};
+    }
+    ++tasks_killed_;
+    ++task.kill_count;
+    const Area area = store_.configs().Get(task.assigned_config).required_area;
+    lost_work_area_ticks_ += static_cast<std::uint64_t>(area) *
+                             static_cast<std::uint64_t>(now - task.start_time);
+    Emit(SimEvent::Kind::kKilled, id, node_id, task.assigned_config);
+    task.assigned_config = ConfigId::invalid();
+    task.assigned_node = NodeId::invalid();
+    task.comm_time = 0;
+    task.config_wait = 0;
+    // A kill is not a scheduling attempt: no BeginTask, no search charge,
+    // and no sus_retry increment — the retry budget meters re-scheduling
+    // attempts, and re-queuing a victim is not one.
+    if (config_.max_suspension_retries != 0 &&
+        task.sus_retry >= config_.max_suspension_retries) {
+      task.state = resource::TaskState::kDiscarded;
+      metrics_.OnDiscarded();
+      Emit(SimEvent::Kind::kDiscarded, id);
+      NoteTerminal();
+      continue;
+    }
+    task.state = resource::TaskState::kSuspended;
+    Emit(SimEvent::Kind::kSuspended, id);
+    EnqueueSuspended(id);
+  }
+  if (config_.enable_monitoring) monitor_.Observe(now, suspension_.size());
+}
+
+void Simulator::HandleNodeRepair(NodeId node_id) {
+  const Tick now = kernel_.now();
+  ++repairs_completed_;
+  downtime_total_ += now - failed_since_[node_id.value()];
+  failed_since_[node_id.value()] = kNoTick;
+  store_.RepairNode(node_id);
+  Emit(SimEvent::Kind::kNodeRepaired, TaskId::invalid(), node_id);
+  DREAMSIM_LOG(LogLevel::kDebug, "t={} node {} repaired", now,
+               node_id.value());
+  // The revived node is blank capacity: drain with no reusable config.
+  DrainSuspensionQueue(node_id, ConfigId::invalid());
+  if (config_.enable_monitoring) monitor_.Observe(now, suspension_.size());
+}
+
+void Simulator::NoteTerminal() {
+  ++terminal_tasks_;
+  if (faults_.enabled() && terminal_tasks_ >= submitted_tasks_) {
+    CancelPendingFaultEvents();
+  }
+}
+
+void Simulator::CancelPendingFaultEvents() {
+  for (sim::EventHandle& h : fault_process_events_) {
+    if (h.valid()) {
+      (void)kernel_.Cancel(h);
+      h = {};
+    }
+  }
+  for (sim::EventHandle& h : fault_script_events_) {
+    if (h.valid()) (void)kernel_.Cancel(h);
+  }
+  fault_script_events_.clear();
 }
 
 }  // namespace dreamsim::core

@@ -15,7 +15,9 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
+#include "core/fault_model.hpp"
 #include "core/metrics.hpp"
 #include "core/sim_config.hpp"
 #include "net/bitstream_cache.hpp"
@@ -32,7 +34,8 @@
 
 namespace dreamsim::core {
 
-/// One task-lifecycle event, as observed by the optional event logger.
+/// One task-lifecycle or fault event, as observed by the optional event
+/// logger.
 struct SimEvent {
   enum class Kind : std::uint8_t {
     kArrival,
@@ -40,11 +43,18 @@ struct SimEvent {
     kSuspended,
     kDiscarded,
     kCompleted,
+    /// Fault injection (DESIGN.md §10): a running task was killed by its
+    /// node failing (task, node, and the killed placement's config are set).
+    kKilled,
+    /// Node fault events; `task` is invalid, `node` is set.
+    kNodeFailed,
+    kNodeRepaired,
   };
   Kind kind;
   Tick tick = 0;
   TaskId task;
-  /// Node/config are set for kPlaced and kCompleted only.
+  /// Node/config are set for kPlaced, kCompleted, kKilled, and the node
+  /// fault kinds (node only).
   NodeId node;
   ConfigId config;
 };
@@ -147,14 +157,36 @@ class Simulator {
   /// takes the FIFO-first task the node can accommodate via allocation,
   /// spare area, or reclaiming idle entries. The candidate scan is charged
   /// as scheduler search effort; policy runs per completion are bounded by
-  /// suspension_batch.
-  void DrainSuspensionQueue(resource::EntryRef freed, ConfigId freed_config);
+  /// suspension_batch. A node repair also drains with `freed_config`
+  /// invalid: the revived node is blank capacity with nothing to reuse.
+  void DrainSuspensionQueue(NodeId freed_node, ConfigId freed_config);
   /// Partial-mode prefilter: could `task` plausibly run on `node` now?
   [[nodiscard]] bool CouldUseNode(const resource::Task& task,
                                   const resource::Node& node,
                                   ConfigId freed_config) const;
   [[nodiscard]] std::unique_ptr<sched::Policy> MakePolicy() const;
   [[nodiscard]] MetricsReport FinishReport();
+
+  // --- Fault injection (DESIGN.md §10) ---
+  /// Schedules the scripted events and arms the per-node failure processes.
+  void StartFaults();
+  /// Arms one node's next random failure/repair (kControl priority).
+  void ArmFailure(NodeId node);
+  void ArmRepair(NodeId node);
+  /// Re-arms idle process chains after a mid-run SubmitTaskAt() revived a
+  /// drained system.
+  void RearmFaults();
+  /// Applies a fault event if it changes the node's state (scripted events
+  /// may race the random process; the loser is a no-op).
+  void ApplyFault(NodeId node, FaultAction action);
+  void HandleNodeFailure(NodeId node);
+  void HandleNodeRepair(NodeId node);
+  /// Bookkeeping after a task reaches a terminal state; once every
+  /// submitted task is terminal the pending fault events are cancelled so
+  /// an ever-renewing MTBF chain cannot keep the kernel alive (or stretch
+  /// Eq. 5's end time) past the workload.
+  void NoteTerminal();
+  void CancelPendingFaultEvents();
 
   SimulationConfig config_;
   Rng rng_;
@@ -174,6 +206,25 @@ class Simulator {
   std::function<void(TaskId, Tick)> completion_hook_;
   std::function<void(const SimEvent&)> event_logger_;
   bool ran_ = false;
+
+  // --- Fault injection state (all dormant when faults are disabled) ---
+  FaultModel faults_;
+  /// Per-node pending process event (failure or repair), for cancellation.
+  std::vector<sim::EventHandle> fault_process_events_;
+  std::vector<sim::EventHandle> fault_script_events_;
+  /// Tick each currently failed node went down (kNoTick = healthy).
+  std::vector<Tick> failed_since_;
+  /// Pending completion events, indexed by the (dense) task id, so a node
+  /// failure can cancel them. Tracked only when faults are enabled
+  /// (fault-free runs keep the original zero-overhead path).
+  std::vector<sim::EventHandle> completion_events_;
+  std::uint64_t submitted_tasks_ = 0;
+  std::uint64_t terminal_tasks_ = 0;
+  std::uint64_t failures_injected_ = 0;
+  std::uint64_t repairs_completed_ = 0;
+  std::uint64_t tasks_killed_ = 0;
+  std::uint64_t lost_work_area_ticks_ = 0;
+  Tick downtime_total_ = 0;
 };
 
 /// Builds the policy named by `choice` (DreamSim honours `mode`; the

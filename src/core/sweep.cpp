@@ -51,6 +51,7 @@ std::vector<MetricsReport> RunSweep(const SweepParams& params) {
       if (config.label.empty()) {
         config.label = Format("{}-n{}-t{}", sched::ToString(points[i].mode),
                               config.nodes.count, points[i].tasks);
+        if (config.faults.enabled()) config.label += "-faults";
       }
       Simulator simulator(std::move(config));
       reports[i] = simulator.Run();

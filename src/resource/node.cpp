@@ -30,6 +30,7 @@ const Extent& Node::SlotExtent(SlotIndex slot) const {
 }
 
 bool Node::CanHost(Area area) const {
+  if (failed_) return false;
   if (layout_) return layout_->CanAllocate(area);
   return available_area_ >= area;
 }
@@ -52,6 +53,7 @@ bool Node::CanHostAfterReclaiming(std::span<const SlotIndex> idle_slots,
 }
 
 std::optional<SlotIndex> Node::TrySendBitstream(const Configuration& config) {
+  if (failed_) return std::nullopt;
   if (config.required_area > available_area_) return std::nullopt;
   Extent extent{0, config.required_area};
   if (layout_) {
@@ -95,6 +97,19 @@ void Node::MakeNodeBlank() {
   live_entries_ = 0;
   available_area_ = total_area_;
   if (layout_) layout_->Reset();
+}
+
+void Node::MarkFailed() {
+  if (failed_) throw std::logic_error("MarkFailed: node already failed");
+  if (!blank()) {
+    throw std::logic_error("MarkFailed: node still holds configurations");
+  }
+  failed_ = true;
+}
+
+void Node::MarkRepaired() {
+  if (!failed_) throw std::logic_error("MarkRepaired: node is not failed");
+  failed_ = false;
 }
 
 void Node::MakeNodePartiallyBlank(SlotIndex slot, Area reclaimed_area) {

@@ -68,6 +68,20 @@ class Node {
   /// True when the node has no configuration at all ("blank node").
   [[nodiscard]] bool blank() const { return live_entries_ == 0; }
 
+  /// True while the node is failed (fault injection). A failed node is
+  /// always blank (the store wipes it before marking it failed), cannot
+  /// host or accept configurations, and is invisible to every scheduler
+  /// query until MarkRepaired().
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  /// Marks the node failed. Precondition: blank (the store has already
+  /// wiped its configurations) and not already failed.
+  void MarkFailed();
+
+  /// Clears the failed flag. Precondition: failed. The node comes back
+  /// blank and must pay full configuration time again.
+  void MarkRepaired();
+
   /// True when at least one slot is executing a task (`state` of Eq. 1).
   [[nodiscard]] bool busy() const { return running_tasks_ > 0; }
 
@@ -177,6 +191,7 @@ class Node {
   std::size_t live_entries_ = 0;
   std::size_t running_tasks_ = 0;
   std::uint64_t reconfig_count_ = 0;
+  bool failed_ = false;
 };
 
 /// Parameters for synthetic node generation (Table II: "Node TotalArea

@@ -27,6 +27,7 @@ ResourceStore::ResourceStore(ResourceStore&& other) noexcept
       blank_(std::move(other.blank_)),
       blank_pos_(std::move(other.blank_pos_)),
       busy_area_(std::move(other.busy_area_)),
+      failed_count_(other.failed_count_),
       index_(std::move(other.index_)),
       meter_(other.meter_) {
   if (index_) index_->RebindCatalogue(configs_);
@@ -41,6 +42,7 @@ ResourceStore& ResourceStore::operator=(ResourceStore&& other) noexcept {
   blank_ = std::move(other.blank_);
   blank_pos_ = std::move(other.blank_pos_);
   busy_area_ = std::move(other.busy_area_);
+  failed_count_ = other.failed_count_;
   index_ = std::move(other.index_);
   meter_ = other.meter_;
   if (index_) index_->RebindCatalogue(configs_);
@@ -307,6 +309,9 @@ bool ResourceStore::CouldEventuallyHost(NodeId id, Area needed_area) const {
 
 Area ResourceStore::CouldEventuallyHostBound(NodeId id) const {
   const Node& n = node(id);
+  // A failed node hosts nothing now or after any amount of reclaiming
+  // (configuration areas are positive, so a 0 bound admits no task).
+  if (n.failed()) return 0;
   // CanHost(a) holds iff a <= the hostable-now bound: the largest free
   // extent under contiguous placement, the available area otherwise.
   const Area now =
@@ -336,6 +341,7 @@ void ResourceStore::PushBlank(NodeId node_id) {
 EntryRef ResourceStore::Configure(NodeId node_id, ConfigId config) {
   const Configuration& c = configs_.Get(config);
   Node& n = node(node_id);
+  if (n.failed()) throw std::logic_error("Configure: node is failed");
   if (!c.CompatibleWith(n.family())) {
     throw std::logic_error(
         "Configure: bitstream family incompatible with the node");
@@ -401,6 +407,47 @@ TaskId ResourceStore::ReleaseTask(EntryRef entry) {
   busy_area_[entry.node.value()] -= configs_.Get(config).required_area;
   RefreshIndex(entry.node);
   return task;
+}
+
+std::vector<TaskId> ResourceStore::FailNode(NodeId node_id) {
+  Node& n = node(node_id);
+  if (n.failed()) throw std::logic_error("FailNode: node already failed");
+  const bool was_blank = n.blank();
+  std::vector<TaskId> killed;
+  n.ForEachSlot([&](SlotIndex slot, const ConfigTaskPair& pair) {
+    const EntryRef entry{node_id, slot};
+    const ConfigId config = pair.config;
+    const TaskId task = pair.task;
+    if (pair.idle()) {
+      if (!idle_list_mut(config).Remove(entry, meter_)) {
+        throw std::logic_error("FailNode: entry missing from idle list");
+      }
+      return;
+    }
+    if (!busy_list_mut(config).Remove(entry, meter_)) {
+      throw std::logic_error("FailNode: entry missing from busy list");
+    }
+    busy_area_[node_id.value()] -= configs_.Get(config).required_area;
+    killed.push_back(task);
+    n.RemoveTaskFromNode(slot);
+  });
+  n.MakeNodeBlank();
+  // Failed nodes are not candidates for anything, so they live outside the
+  // blank list until RepairNode() re-inserts them.
+  if (was_blank) RemoveFromBlank(node_id);
+  n.MarkFailed();
+  ++failed_count_;
+  RefreshIndex(node_id);
+  return killed;
+}
+
+void ResourceStore::RepairNode(NodeId node_id) {
+  Node& n = node(node_id);
+  if (!n.failed()) throw std::logic_error("RepairNode: node is not failed");
+  n.MarkRepaired();
+  --failed_count_;
+  PushBlank(node_id);
+  RefreshIndex(node_id);
 }
 
 Area ResourceStore::TotalWastedArea() const {
@@ -510,10 +557,15 @@ std::vector<std::string> ResourceStore::ValidateConsistency() const {
       }
       return false;
     }();
-    if (n.blank() != in_blank) {
+    // Failed nodes are blank but deliberately absent from the blank list.
+    if ((n.blank() && !n.failed()) != in_blank) {
       violations.push_back(Format(
-          "node {}: blank()={} but blank-list membership={}", n.id().value(),
-          n.blank(), in_blank));
+          "node {}: blank()={} failed()={} but blank-list membership={}",
+          n.id().value(), n.blank(), n.failed(), in_blank));
+    }
+    if (n.failed() && !n.blank()) {
+      violations.push_back(Format(
+          "node {}: failed but still holds configurations", n.id().value()));
     }
   }
 
@@ -567,10 +619,21 @@ std::vector<std::string> ResourceStore::ValidateConsistency() const {
     }
   }
   for (const Node& n : nodes_) {
-    if (!n.blank() && blank_pos_[n.id().value()] != kNotBlank) {
+    if ((!n.blank() || n.failed()) && blank_pos_[n.id().value()] != kNotBlank) {
       violations.push_back(Format(
-          "node {}: non-blank but has a blank-list position", n.id().value()));
+          "node {}: not blank-listed but has a blank-list position",
+          n.id().value()));
     }
+  }
+
+  // The failed-node tally must match a fresh recount.
+  std::size_t failed = 0;
+  for (const Node& n : nodes_) {
+    if (n.failed()) ++failed;
+  }
+  if (failed != failed_count_) {
+    violations.push_back(Format("failed-node tally {} != recount {}",
+                                failed_count_, failed));
   }
 
   // Cross-check every indexed structure against ground truth.

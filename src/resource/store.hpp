@@ -75,6 +75,7 @@ class ResourceStore {
   [[nodiscard]] const EntryList& idle_list(ConfigId config) const;
   [[nodiscard]] const EntryList& busy_list(ConfigId config) const;
   [[nodiscard]] std::size_t blank_node_count() const { return blank_.size(); }
+  [[nodiscard]] std::size_t failed_node_count() const { return failed_count_; }
 
   // --- Indexed fast path (DESIGN.md "Scheduler index") ---
 
@@ -169,6 +170,21 @@ class ResourceStore {
   /// Returns the task that was running there.
   TaskId ReleaseTask(EntryRef entry);
 
+  // --- Fault injection (DESIGN.md §10) ---
+
+  /// Node failure: atomically removes the node from every structure —
+  /// idle/busy entry lists, the blank list, and the query index — wipes
+  /// all of its configurations, and marks it failed. Returns the tasks
+  /// that were running there (in slot order) so the simulator can re-enter
+  /// them through the suspension path. List removals charge the same
+  /// housekeeping steps a completion-time removal would; the charges do
+  /// not depend on the index mode. Throws if the node is already failed.
+  std::vector<TaskId> FailNode(NodeId node_id);
+
+  /// Node repair: re-inserts the node as a blank node (it pays full
+  /// configuration time again). Throws if the node is not failed.
+  void RepairNode(NodeId node_id);
+
   // --- Metrics support ---
 
   /// Eq. 6: sum of AvailableArea over nodes holding >= 1 configuration.
@@ -217,6 +233,7 @@ class ResourceStore {
   std::vector<NodeId> blank_;           // nodes with zero configurations
   std::vector<std::size_t> blank_pos_;  // node id -> blank_ slot, kNotBlank
   std::vector<Area> busy_area_;         // node id -> sum of busy entry areas
+  std::size_t failed_count_ = 0;        // nodes currently failed
   std::unique_ptr<StoreIndex> index_;   // null = scan mode
   WorkloadMeter meter_;
 };

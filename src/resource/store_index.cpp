@@ -17,8 +17,17 @@ StoreIndex::Snapshot StoreIndex::Capture(const Node& node, Area busy_area) {
   s.config_count = static_cast<std::int64_t>(node.config_count());
   s.blank = node.blank();
   s.busy = node.busy();
+  s.failed = node.failed();
   s.family = node.family().value();
   return s;
+}
+
+std::int64_t StoreIndex::PotentialKey(const Snapshot& snap) {
+  return snap.failed ? MaxSegTree::kNegInf : snap.potential;
+}
+
+std::int64_t StoreIndex::AvailableKey(const Snapshot& snap) {
+  return snap.failed ? MaxSegTree::kNegInf : snap.available;
 }
 
 void StoreIndex::AddNode(const Node& node, Area busy_area) {
@@ -46,12 +55,14 @@ void StoreIndex::Refresh(const Node& node, Area busy_area) {
 void StoreIndex::AppendToView(View& view, const Snapshot& snap,
                               std::uint32_t id) {
   view.ids.push_back(id);
-  view.potential.Append(snap.potential);
+  view.potential.Append(PotentialKey(snap));
   view.busy_total.Append(snap.busy ? snap.total : MaxSegTree::kNegInf);
-  view.available.Append(snap.available);
+  view.available.Append(AvailableKey(snap));
   view.config_count.Append(snap.config_count);
-  view.all_by_avail.insert({snap.available, id});
-  if (snap.blank) view.blank_by_total.insert({snap.total, id});
+  if (!snap.failed) view.all_by_avail.insert({snap.available, id});
+  if (snap.blank && !snap.failed) {
+    view.blank_by_total.insert({snap.total, id});
+  }
   if (!snap.blank) view.partial_by_avail.insert({snap.available, id});
   if (!snap.blank && !snap.busy) {
     view.idle_cfg_by_total.insert({snap.total, id});
@@ -60,14 +71,14 @@ void StoreIndex::AppendToView(View& view, const Snapshot& snap,
 
 void StoreIndex::ApplyToView(View& view, std::size_t pos, const Snapshot& was,
                              const Snapshot& now, std::uint32_t id) {
-  if (was.potential != now.potential) {
-    view.potential.Assign(pos, now.potential);
+  if (PotentialKey(was) != PotentialKey(now)) {
+    view.potential.Assign(pos, PotentialKey(now));
   }
   const std::int64_t was_busy = was.busy ? was.total : MaxSegTree::kNegInf;
   const std::int64_t now_busy = now.busy ? now.total : MaxSegTree::kNegInf;
   if (was_busy != now_busy) view.busy_total.Assign(pos, now_busy);
-  if (was.available != now.available) {
-    view.available.Assign(pos, now.available);
+  if (AvailableKey(was) != AvailableKey(now)) {
+    view.available.Assign(pos, AvailableKey(now));
   }
   if (was.config_count != now.config_count) {
     view.config_count.Assign(pos, now.config_count);
@@ -79,8 +90,10 @@ void StoreIndex::ApplyToView(View& view, std::size_t pos, const Snapshot& was,
     if (was_in) keys.erase({was_key, id});
     if (now_in) keys.insert({now_key, id});
   };
-  resync(view.blank_by_total, was.blank, was.total, now.blank, now.total);
-  resync(view.all_by_avail, true, was.available, true, now.available);
+  resync(view.blank_by_total, was.blank && !was.failed, was.total,
+         now.blank && !now.failed, now.total);
+  resync(view.all_by_avail, !was.failed, was.available, !now.failed,
+         now.available);
   resync(view.partial_by_avail, !was.blank, was.available, !now.blank,
          now.available);
   resync(view.idle_cfg_by_total, !was.blank && !was.busy, was.total,
@@ -266,6 +279,7 @@ void StoreIndex::ValidateView(const View& view, const char* label,
                count));
     return;
   }
+  std::size_t healthy_members = 0;
   std::size_t blank_members = 0;
   std::size_t partial_members = 0;
   std::size_t idle_cfg_members = 0;
@@ -277,7 +291,8 @@ void StoreIndex::ValidateView(const View& view, const char* label,
     }
     const std::uint32_t id = view.ids[pos];
     const Node& n = nodes[id];
-    const Area potential = n.total_area() - busy_area[id];
+    const std::int64_t potential =
+        n.failed() ? MaxSegTree::kNegInf : n.total_area() - busy_area[id];
     if (view.potential.Value(pos) != potential) {
       violations.push_back(Format(
           "index view {}: node {} potential {} != {}", label, id,
@@ -289,23 +304,25 @@ void StoreIndex::ValidateView(const View& view, const char* label,
       violations.push_back(
           Format("index view {}: node {} busy-total stale", label, id));
     }
-    if (view.available.Value(pos) != n.available_area()) {
+    const std::int64_t available =
+        n.failed() ? MaxSegTree::kNegInf : n.available_area();
+    if (view.available.Value(pos) != available) {
       violations.push_back(Format(
           "index view {}: node {} available {} != {}", label, id,
-          view.available.Value(pos), n.available_area()));
+          view.available.Value(pos), available));
     }
     if (view.config_count.Value(pos) !=
         static_cast<std::int64_t>(n.config_count())) {
       violations.push_back(
           Format("index view {}: node {} config count stale", label, id));
     }
-    if (view.all_by_avail.count({n.available_area(), id}) != 1) {
+    if (view.all_by_avail.count({n.available_area(), id}) !=
+        (n.failed() ? 0u : 1u)) {
       violations.push_back(
-          Format("index view {}: node {} missing from all-by-avail", label,
-                 id));
+          Format("index view {}: node {} all-by-avail mismatch", label, id));
     }
     if (view.blank_by_total.count({n.total_area(), id}) !=
-        (n.blank() ? 1u : 0u)) {
+        (n.blank() && !n.failed() ? 1u : 0u)) {
       violations.push_back(
           Format("index view {}: node {} blank-set mismatch", label, id));
     }
@@ -320,13 +337,14 @@ void StoreIndex::ValidateView(const View& view, const char* label,
       violations.push_back(
           Format("index view {}: node {} idle-cfg-set mismatch", label, id));
     }
-    blank_members += n.blank() ? 1u : 0u;
+    healthy_members += n.failed() ? 0u : 1u;
+    blank_members += n.blank() && !n.failed() ? 1u : 0u;
     partial_members += n.blank() ? 0u : 1u;
     idle_cfg_members += idle_cfg ? 1u : 0u;
   }
   // Size checks catch stale extra keys the per-node membership tests above
   // cannot see.
-  if (view.all_by_avail.size() != count ||
+  if (view.all_by_avail.size() != healthy_members ||
       view.blank_by_total.size() != blank_members ||
       view.partial_by_avail.size() != partial_members ||
       view.idle_cfg_by_total.size() != idle_cfg_members) {
@@ -362,7 +380,8 @@ std::vector<std::string> StoreIndex::Validate(
     if (snap.total != fresh.total || snap.available != fresh.available ||
         snap.potential != fresh.potential ||
         snap.config_count != fresh.config_count ||
-        snap.blank != fresh.blank || snap.busy != fresh.busy) {
+        snap.blank != fresh.blank || snap.busy != fresh.busy ||
+        snap.failed != fresh.failed) {
       violations.push_back(Format("index: node {} snapshot stale", id));
     }
   }

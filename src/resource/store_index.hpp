@@ -133,11 +133,17 @@ class StoreIndex {
     std::int64_t config_count = 0;
     bool blank = true;
     bool busy = false;
+    bool failed = false;
     std::uint32_t family = 0;     // FamilyId::kInvalidValue when familyless
     std::size_t family_pos = 0;   // position within the family view
   };
 
   [[nodiscard]] static Snapshot Capture(const Node& node, Area busy_area);
+  // Failed nodes are invisible to every query: their tree keys collapse to
+  // -inf and they leave every ordered set, exactly as the reference scans
+  // skip them (absent from the blank list, CanHost/busy() false, no slots).
+  [[nodiscard]] static std::int64_t PotentialKey(const Snapshot& snap);
+  [[nodiscard]] static std::int64_t AvailableKey(const Snapshot& snap);
   [[nodiscard]] const View* ViewFor(FamilyId family) const;
   static void AppendToView(View& view, const Snapshot& snap, std::uint32_t id);
   static void ApplyToView(View& view, std::size_t pos, const Snapshot& was,

@@ -67,6 +67,8 @@ struct Task {
   Tick config_wait = 0;
   /// Times the task was re-queued from the suspension queue.
   std::uint32_t sus_retry = 0;
+  /// Times a node failure killed this task mid-execution (fault injection).
+  std::uint32_t kill_count = 0;
 
   /// Waiting time per Eq. 8: t_start - t_create + t_comm + t_config.
   /// Only meaningful once the task has started.

@@ -167,6 +167,32 @@ TEST(SuspensionQueue, IndexedDrainQueriesPickScanWinners) {
             std::nullopt);
 }
 
+TEST(SuspensionQueue, RequeueAfterKillChargesOneHousekeepingStep) {
+  // Fault-injection recovery path: a queued task gets drained for
+  // placement, its node fails mid-execution, and the kill re-queues it.
+  // The re-queue is not a scheduling attempt — it must charge exactly the
+  // one enqueue housekeeping step (no scheduling-search charge), in both
+  // drain modes, so fault runs keep the paper's step accounting honest.
+  for (const bool indexed : {false, true}) {
+    SuspensionQueue q;
+    q.SetDrainIndexed(indexed);
+    WorkloadMeter meter;
+    (void)q.Add(TaskId{1}, Attrs(2, 300, 0.0), meter);
+    (void)q.Add(TaskId{2}, Attrs(3, 400, 0.0), meter);
+    q.RemoveAt(0, meter);  // drained and placed on the doomed node
+    const Steps sched_before = meter.scheduling_steps_total();
+    const Steps house_before = meter.housekeeping_steps_total();
+    ASSERT_TRUE(q.Add(TaskId{1}, Attrs(2, 300, 0.0), meter));
+    EXPECT_EQ(meter.scheduling_steps_total(), sched_before) << indexed;
+    EXPECT_EQ(meter.housekeeping_steps_total(), house_before + 1) << indexed;
+    // The victim re-enters at the FIFO tail, behind tasks queued earlier.
+    ASSERT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.tasks().front(), TaskId{2});
+    EXPECT_EQ(q.tasks().back(), TaskId{1});
+    if (indexed) EXPECT_TRUE(q.ValidateIndex().empty());
+  }
+}
+
 TEST(SuspensionQueue, IndexRebuildsAcrossToggle) {
   SuspensionQueue q;
   WorkloadMeter meter;

@@ -88,6 +88,15 @@ void RegisterFlags(CliParser& cli) {
   cli.AddInt("net-bandwidth", 0, "payload bytes per tick (0 = no comm delay)");
   cli.AddInt("net-latency", 0, "base link latency (ticks)");
   cli.AddInt("net-jitter", 0, "max uniform jitter (ticks)");
+  // Fault injection (disabled by default; paper figures are fault-free).
+  cli.AddDouble("fault-mtbf", 0.0,
+                "mean ticks between node failures (0 = no random failures)");
+  cli.AddDouble("fault-mttr", 0.0,
+                "mean ticks to repair a failed node (0 = failures are "
+                "permanent)");
+  cli.AddString("fault-script", "",
+                "scripted fault events 'tick:node:fail|repair', "
+                "comma-separated");
   // Metrics / output.
   cli.AddString("waste-accounting", "on-schedule",
                 "on-schedule|on-configure|time-weighted|idle-configured");
@@ -149,6 +158,9 @@ core::SimulationConfig BuildConfig(const CliParser& cli) {
   config.network.bytes_per_tick = cli.GetInt("net-bandwidth");
   config.network.base_latency = cli.GetInt("net-latency");
   config.network.max_jitter = cli.GetInt("net-jitter");
+  config.faults.mtbf = cli.GetDouble("fault-mtbf");
+  config.faults.mttr = cli.GetDouble("fault-mttr");
+  config.faults.script = core::ParseFaultScript(cli.GetString("fault-script"));
   config.enable_monitoring = cli.GetBool("monitoring");
   config.scheduler_index = cli.GetBool("scheduler-index");
   config.drain_index = cli.GetBool("drain-index");
