@@ -98,6 +98,14 @@ Simulator::Simulator(SimulationConfig config)
   if (faults_.enabled()) {
     fault_process_events_.resize(store_.node_count());
     failed_since_.assign(store_.node_count(), kNoTick);
+    fault_script_.reserve(faults_.params().script.size());
+    for (const FaultEvent& e : faults_.params().script) {
+      if (!e.node.valid() || e.node.value() >= store_.node_count()) {
+        throw std::invalid_argument(
+            Format("fault script names unknown node {}", e.node.value()));
+      }
+      fault_script_.push_back({e, {}, false});
+    }
   }
   if (config_.ship_bitstreams) {
     bitstream_caches_.assign(
@@ -148,7 +156,7 @@ MetricsReport Simulator::RunWithWorkload(const workload::Workload& wl) {
   if (ran_) throw std::logic_error("Simulator instances are single-use");
   ran_ = true;
   submitted_tasks_ += jobs_.Submit(wl, [this](TaskId id) { HandleArrival(id); });
-  if (faults_.enabled() && submitted_tasks_ > terminal_tasks_) StartFaults();
+  if (faults_.enabled() && submitted_tasks_ > terminal_tasks_) RearmFaults();
   (void)kernel_.Run();
   return FinishReport();
 }
@@ -582,23 +590,6 @@ MetricsReport Simulator::FinishReport() {
 
 // --- Fault injection (DESIGN.md §10) ---
 
-void Simulator::StartFaults() {
-  for (const FaultEvent& e : faults_.params().script) {
-    if (!e.node.valid() || e.node.value() >= store_.node_count()) {
-      throw std::invalid_argument(
-          Format("fault script names unknown node {}", e.node.value()));
-    }
-    fault_script_events_.push_back(kernel_.ScheduleAt(
-        e.at, sim::EventPriority::kControl,
-        [this, e] { ApplyFault(e.node, e.action); }));
-  }
-  if (faults_.params().process_enabled()) {
-    for (std::size_t i = 0; i < store_.node_count(); ++i) {
-      ArmFailure(NodeId{static_cast<std::uint32_t>(i)});
-    }
-  }
-}
-
 void Simulator::ArmFailure(NodeId node) {
   if (terminal_tasks_ >= submitted_tasks_) return;
   fault_process_events_[node.value()] = kernel_.ScheduleAfter(
@@ -620,6 +611,7 @@ void Simulator::ArmRepair(NodeId node) {
 }
 
 void Simulator::RearmFaults() {
+  ScheduleFaultScript();
   if (!faults_.params().process_enabled()) return;
   for (std::size_t i = 0; i < store_.node_count(); ++i) {
     if (fault_process_events_[i].valid()) continue;
@@ -629,6 +621,25 @@ void Simulator::RearmFaults() {
     } else {
       ArmFailure(id);
     }
+  }
+}
+
+void Simulator::ScheduleFaultScript() {
+  const Tick now = kernel_.now();
+  for (std::size_t i = 0; i < fault_script_.size(); ++i) {
+    ScriptedFault& pending = fault_script_[i];
+    if (pending.fired || pending.handle.valid() || pending.event.at < now) {
+      continue;
+    }
+    // The index capture is stable: fault_script_ is never resized after
+    // construction.
+    pending.handle = kernel_.ScheduleAt(
+        pending.event.at, sim::EventPriority::kControl, [this, i] {
+          ScriptedFault& entry = fault_script_[i];
+          entry.handle = {};
+          entry.fired = true;
+          ApplyFault(entry.event.node, entry.event.action);
+        });
   }
 }
 
@@ -660,8 +671,14 @@ void Simulator::HandleNodeFailure(NodeId node_id) {
     ++tasks_killed_;
     ++task.kill_count;
     const Area area = store_.configs().Get(task.assigned_config).required_area;
-    lost_work_area_ticks_ += static_cast<std::uint64_t>(area) *
-                             static_cast<std::uint64_t>(now - task.start_time);
+    // Only destroyed execution counts as lost work: a task killed inside
+    // its comm/config window has not run yet, and the setup cost is paid
+    // again in full on the next placement regardless.
+    const Tick setup_done = task.start_time + task.comm_time + task.config_wait;
+    if (now > setup_done) {
+      lost_work_area_ticks_ += static_cast<std::uint64_t>(area) *
+                               static_cast<std::uint64_t>(now - setup_done);
+    }
     Emit(SimEvent::Kind::kKilled, id, node_id, task.assigned_config);
     task.assigned_config = ConfigId::invalid();
     task.assigned_node = NodeId::invalid();
@@ -713,10 +730,14 @@ void Simulator::CancelPendingFaultEvents() {
       h = {};
     }
   }
-  for (sim::EventHandle& h : fault_script_events_) {
-    if (h.valid()) (void)kernel_.Cancel(h);
+  // Unfired script entries keep their `event` (FaultParams::script stays
+  // the source of truth): a reviving submission re-schedules them.
+  for (ScriptedFault& s : fault_script_) {
+    if (s.handle.valid()) {
+      (void)kernel_.Cancel(s.handle);
+      s.handle = {};
+    }
   }
-  fault_script_events_.clear();
 }
 
 }  // namespace dreamsim::core

@@ -168,14 +168,20 @@ class Simulator {
   [[nodiscard]] MetricsReport FinishReport();
 
   // --- Fault injection (DESIGN.md §10) ---
-  /// Schedules the scripted events and arms the per-node failure processes.
-  void StartFaults();
   /// Arms one node's next random failure/repair (kControl priority).
   void ArmFailure(NodeId node);
   void ArmRepair(NodeId node);
-  /// Re-arms idle process chains after a mid-run SubmitTaskAt() revived a
-  /// drained system.
+  /// Idempotently arms fault delivery: schedules every pending scripted
+  /// event and arms the process chain of every node whose handle is not
+  /// already live. Called both at run start and when a mid-run
+  /// SubmitTaskAt() revives a drained system, so the two entry points can
+  /// never double-arm a node (a graph session submits its roots before
+  /// RunWithWorkload()).
   void RearmFaults();
+  /// Schedules every scripted event that has not fired, has no pending
+  /// kernel event, and lies at or after the current tick (entries whose
+  /// tick passed while the system was drained would have been no-ops).
+  void ScheduleFaultScript();
   /// Applies a fault event if it changes the node's state (scripted events
   /// may race the random process; the loser is a no-op).
   void ApplyFault(NodeId node, FaultAction action);
@@ -211,7 +217,16 @@ class Simulator {
   FaultModel faults_;
   /// Per-node pending process event (failure or repair), for cancellation.
   std::vector<sim::EventHandle> fault_process_events_;
-  std::vector<sim::EventHandle> fault_script_events_;
+  /// Scripted events, validated and copied from FaultParams::script at
+  /// construction. The entry outlives its kernel event: a transient
+  /// terminal==submitted drain cancels the handles, and the next reviving
+  /// submission re-schedules every entry that has not fired yet.
+  struct ScriptedFault {
+    FaultEvent event;
+    sim::EventHandle handle;
+    bool fired = false;
+  };
+  std::vector<ScriptedFault> fault_script_;
   /// Tick each currently failed node went down (kNoTick = healthy).
   std::vector<Tick> failed_since_;
   /// Pending completion events, indexed by the (dense) task id, so a node
