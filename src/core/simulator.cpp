@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "ptype/catalogue.hpp"
 #include "sched/dreamsim_policy.hpp"
 #include "sched/heuristic_policy.hpp"
@@ -62,6 +63,7 @@ std::string_view ToString(SimEvent::Kind kind) {
     case SimEvent::Kind::kArrival: return "arrival";
     case SimEvent::Kind::kPlaced: return "placed";
     case SimEvent::Kind::kSuspended: return "suspended";
+    case SimEvent::Kind::kRequeued: return "requeued";
     case SimEvent::Kind::kDiscarded: return "discarded";
     case SimEvent::Kind::kCompleted: return "completed";
     case SimEvent::Kind::kKilled: return "killed";
@@ -173,8 +175,24 @@ void Simulator::HandleArrival(TaskId id) {
     Emit(SimEvent::Kind::kSuspended, id);
     EnqueueSuspended(id);
   }
-  if (config_.enable_monitoring) {
-    monitor_.Observe(kernel_.now(), suspension_.size());
+  ObserveState();
+}
+
+void Simulator::ObserveState() {
+  const bool monitoring = config_.enable_monitoring;
+  if (!monitoring && !state_observer_) return;
+  const rms::SystemSnapshot snapshot = info_.Snapshot(kernel_.now());
+  if (monitoring) monitor_.ObserveSnapshot(snapshot, suspension_.size());
+  if (state_observer_) {
+    StateSample sample;
+    sample.tick = snapshot.at;
+    sample.busy_nodes = snapshot.busy_nodes;
+    sample.running_tasks = snapshot.running_tasks;
+    sample.suspended_tasks = suspension_.size();
+    sample.wasted_area = snapshot.wasted_area;
+    sample.scheduler_steps = store_.meter().total_workload();
+    sample.failed_nodes = store_.failed_node_count();
+    state_observer_(sample);
   }
 }
 
@@ -209,7 +227,14 @@ sched::Outcome Simulator::AttemptSchedule(TaskId id, bool is_arrival) {
         metrics_.OnWasteSignal(now, store_.TotalWastedArea());
       }
       metrics_.OnPlaced(decision);
-      Emit(SimEvent::Kind::kPlaced, id, decision.entry.node, decision.config);
+      if (event_logger_) {
+        SimEvent placed{SimEvent::Kind::kPlaced, now, id, decision.entry.node,
+                        decision.config};
+        placed.placement = decision.kind;
+        placed.comm_time = task.comm_time;
+        placed.config_wait = task.config_wait;
+        event_logger_(placed);
+      }
       // Running on the closest match instead of C_pref may be slower
       // (Eq. 3 defines t_required on the *preferred* configuration).
       Tick execution = task.required_time;
@@ -296,9 +321,7 @@ void Simulator::HandleCompletion(TaskId id, resource::EntryRef entry) {
   Emit(SimEvent::Kind::kCompleted, id, entry.node, freed_config);
   NoteTerminal();
   DrainSuspensionQueue(entry.node, freed_config);
-  if (config_.enable_monitoring) {
-    monitor_.Observe(kernel_.now(), suspension_.size());
-  }
+  ObserveState();
   if (completion_hook_) completion_hook_(id, kernel_.now());
 }
 
@@ -334,6 +357,7 @@ void Simulator::DrainSuspensionQueue(NodeId freed_node,
   // With the drain index enabled, candidate selection is answered from the
   // queue's O(log Q) structures and the scan's step charges are replayed
   // analytically — decisions and metrics are bit-identical either way.
+  const obs::ScopedPhaseTimer timer(obs::ProfPhase::kSuspensionDrain);
   if (suspension_.empty()) return;
   const resource::Node& node = store_.node(freed_node);
   const std::size_t max_policy_runs = config_.suspension_batch == 0
@@ -696,10 +720,10 @@ void Simulator::HandleNodeFailure(NodeId node_id) {
       continue;
     }
     task.state = resource::TaskState::kSuspended;
-    Emit(SimEvent::Kind::kSuspended, id);
+    Emit(SimEvent::Kind::kRequeued, id);
     EnqueueSuspended(id);
   }
-  if (config_.enable_monitoring) monitor_.Observe(now, suspension_.size());
+  ObserveState();
 }
 
 void Simulator::HandleNodeRepair(NodeId node_id) {
@@ -713,7 +737,7 @@ void Simulator::HandleNodeRepair(NodeId node_id) {
                node_id.value());
   // The revived node is blank capacity: drain with no reusable config.
   DrainSuspensionQueue(node_id, ConfigId::invalid());
-  if (config_.enable_monitoring) monitor_.Observe(now, suspension_.size());
+  ObserveState();
 }
 
 void Simulator::NoteTerminal() {

@@ -40,7 +40,12 @@ struct SimEvent {
   enum class Kind : std::uint8_t {
     kArrival,
     kPlaced,
+    /// Voluntary suspension: the scheduler parked the task because a busy
+    /// candidate exists (first attempt or after a queue re-attempt).
     kSuspended,
+    /// Involuntary re-queue: a fault kill put the task back in the
+    /// suspension queue (always preceded by kKilled for the same task).
+    kRequeued,
     kDiscarded,
     kCompleted,
     /// Fault injection (DESIGN.md §10): a running task was killed by its
@@ -57,9 +62,27 @@ struct SimEvent {
   /// fault kinds (node only).
   NodeId node;
   ConfigId config;
+  /// kPlaced only: which Fig. 5 phase placed the task, and the setup delays
+  /// (comm + configuration/bitstream wait) preceding execution.
+  sched::PlacementKind placement{};
+  Tick comm_time = 0;
+  Tick config_wait = 0;
 };
 
 [[nodiscard]] std::string_view ToString(SimEvent::Kind kind);
+
+/// System-state observation delivered to the optional state observer at
+/// every monitoring point (the same event-driven sites the MonitoringModule
+/// samples: arrivals, completions, node failures and repairs).
+struct StateSample {
+  Tick tick = 0;
+  std::size_t busy_nodes = 0;
+  std::size_t running_tasks = 0;
+  std::size_t suspended_tasks = 0;  // suspension-queue depth
+  Area wasted_area = 0;             // Eq. 6 signal
+  Steps scheduler_steps = 0;        // cumulative total scheduler workload
+  std::size_t failed_nodes = 0;
+};
 
 /// One self-contained simulation run. Construct, then call Run() (or
 /// RunWithWorkload() to replay a trace). Not reusable: build a fresh
@@ -95,6 +118,14 @@ class Simulator {
     event_logger_ = std::move(logger);
   }
 
+  /// Optional observer of system-state samples (obs::TimeSeriesSampler).
+  /// Like the event logger it is a pure observer: snapshots are read-only
+  /// and never charge the WorkloadMeter. Set before Run*(); pass nullptr
+  /// to disable.
+  void SetStateObserver(std::function<void(const StateSample&)> observer) {
+    state_observer_ = std::move(observer);
+  }
+
   // --- Post-run inspection ---
   [[nodiscard]] const resource::ResourceStore& store() const { return store_; }
   [[nodiscard]] const resource::SuspensionQueue& suspension() const {
@@ -128,6 +159,9 @@ class Simulator {
       event_logger_(SimEvent{kind, kernel_.now(), task, node, config});
     }
   }
+  /// Feeds the monitoring module and/or the state observer (one shared
+  /// snapshot); no-op when both are off.
+  void ObserveState();
   void HandleArrival(TaskId id);
   void HandleCompletion(TaskId id, resource::EntryRef entry);
   /// One policy attempt; performs all placed/discard bookkeeping. Returns
@@ -211,6 +245,7 @@ class Simulator {
   rms::UtilizationReport utilization_;
   std::function<void(TaskId, Tick)> completion_hook_;
   std::function<void(const SimEvent&)> event_logger_;
+  std::function<void(const StateSample&)> state_observer_;
   bool ran_ = false;
 
   // --- Fault injection state (all dormant when faults are disabled) ---

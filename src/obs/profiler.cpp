@@ -1,0 +1,105 @@
+#include "obs/profiler.hpp"
+
+#include <ostream>
+
+#include "util/fmt.hpp"
+
+namespace dreamsim::obs {
+namespace {
+
+constexpr ProfPhase kAllPhases[kProfPhaseCount] = {
+    ProfPhase::kAllocation,          ProfPhase::kConfiguration,
+    ProfPhase::kPartialConfiguration, ProfPhase::kPartialReconfiguration,
+    ProfPhase::kFullReconfiguration, ProfPhase::kSuspensionDrain,
+    ProfPhase::kStoreQuery,          ProfPhase::kSusQueueQuery,
+};
+
+/// Upper edge of histogram bin i as a human-readable duration.
+std::string BinLabel(std::size_t bin) {
+  const std::uint64_t upper = 1ULL << bin;
+  if (upper >= 1'000'000) return Format("{}ms", upper / 1'000'000);
+  if (upper >= 1'000) return Format("{}us", upper / 1'000);
+  return Format("{}ns", upper);
+}
+
+std::string Scaled(double ns) {
+  if (ns >= 1e9) return Format("{}s", ns / 1e9);
+  if (ns >= 1e6) return Format("{}ms", ns / 1e6);
+  if (ns >= 1e3) return Format("{}us", ns / 1e3);
+  return Format("{}ns", ns);
+}
+
+}  // namespace
+
+std::string_view ToString(ProfPhase phase) {
+  switch (phase) {
+    case ProfPhase::kAllocation: return "allocation";
+    case ProfPhase::kConfiguration: return "configuration";
+    case ProfPhase::kPartialConfiguration: return "partial-configuration";
+    case ProfPhase::kPartialReconfiguration: return "partial-reconfiguration";
+    case ProfPhase::kFullReconfiguration: return "full-reconfiguration";
+    case ProfPhase::kSuspensionDrain: return "suspension-drain";
+    case ProfPhase::kStoreQuery: return "store-query";
+    case ProfPhase::kSusQueueQuery: return "sus-queue-query";
+  }
+  return "?";
+}
+
+std::string PhaseProfiler::Report() const {
+  std::string out =
+      "scheduler phase profile (host wall time; store/sus-queue queries "
+      "nest inside phases)\n";
+  out += Format("  {:<24} {:>10} {:>10} {:>10} {:>10}   histogram\n", "phase",
+                "calls", "total", "mean", "max");
+  for (const ProfPhase phase : kAllPhases) {
+    const PhaseStats s = stats(phase);
+    if (s.calls == 0) continue;
+    // Compact histogram: the three busiest bins, labelled by upper edge.
+    std::size_t top[3] = {0, 0, 0};
+    for (std::size_t i = 0; i < kBins; ++i) {
+      if (s.bins[i] > s.bins[top[0]]) {
+        top[2] = top[1];
+        top[1] = top[0];
+        top[0] = i;
+      } else if (s.bins[i] > s.bins[top[1]] && i != top[0]) {
+        top[2] = top[1];
+        top[1] = i;
+      } else if (s.bins[i] > s.bins[top[2]] && i != top[0] && i != top[1]) {
+        top[2] = i;
+      }
+    }
+    std::string histo;
+    for (const std::size_t bin : top) {
+      if (s.bins[bin] == 0) continue;
+      if (!histo.empty()) histo += ", ";
+      histo += Format("<{}: {}", BinLabel(bin), s.bins[bin]);
+    }
+    out += Format("  {:<24} {:>10} {:>10} {:>10} {:>10}   {}\n",
+                  ToString(phase), s.calls,
+                  Scaled(static_cast<double>(s.total_ns)), Scaled(s.mean_ns()),
+                  Scaled(static_cast<double>(s.max_ns)), histo);
+  }
+  return out;
+}
+
+void PhaseProfiler::WriteJson(std::ostream& out) const {
+  out << "[";
+  bool first = true;
+  for (const ProfPhase phase : kAllPhases) {
+    const PhaseStats s = stats(phase);
+    if (!first) out << ",";
+    first = false;
+    out << Format(
+        "\n  {{\"phase\": \"{}\", \"calls\": {}, \"total_ns\": {}, "
+        "\"mean_ns\": {}, \"max_ns\": {}, \"bins\": [",
+        ToString(phase), s.calls, s.total_ns, s.mean_ns(), s.max_ns);
+    for (std::size_t i = 0; i < kBins; ++i) {
+      if (i != 0) out << ", ";
+      out << s.bins[i];
+    }
+    out << "]}";
+  }
+  out << "\n]\n";
+}
+
+}  // namespace dreamsim::obs

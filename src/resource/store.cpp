@@ -1,5 +1,7 @@
 #include "resource/store.hpp"
 
+#include "obs/profiler.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -133,6 +135,7 @@ EntryList& ResourceStore::busy_list_mut(ConfigId config) {
 }
 
 std::optional<EntryRef> ResourceStore::FindBestIdleEntry(ConfigId config) {
+  const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
   return idle_list(config).FindMin(
       [this](EntryRef e) {
         return static_cast<long long>(node(e.node).available_area());
@@ -151,6 +154,7 @@ bool FamilyOk(FamilyId required, const Node& n) {
 
 std::optional<NodeId> ResourceStore::FindBestBlankNode(Area needed_area,
                                                        FamilyId family) {
+  const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
   if (index_) {
     // The reference scan visits every blank node, fit or not.
     meter_.Add(StepKind::kSchedulingSearch, blank_.size());
@@ -173,6 +177,7 @@ std::optional<NodeId> ResourceStore::FindBestBlankNode(Area needed_area,
 
 std::optional<NodeId> ResourceStore::FindBestPartiallyBlankNode(
     Area needed_area, FamilyId family) {
+  const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
   if (index_) {
     // The reference scan walks the whole node list unconditionally.
     meter_.Add(StepKind::kSchedulingSearch, nodes_.size());
@@ -195,6 +200,7 @@ std::optional<NodeId> ResourceStore::FindBestPartiallyBlankNode(
 
 std::optional<ReconfigPlan> ResourceStore::FindAnyIdleNode(Area needed_area,
                                                            FamilyId family) {
+  const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
   if (index_) {
     // Candidates come from the max-reclaimable-area descent; the charge is
     // the analytic count of node and slot visits the scan would have made.
@@ -233,6 +239,7 @@ std::optional<ReconfigPlan> ResourceStore::FindAnyIdleNode(Area needed_area,
 }
 
 bool ResourceStore::AnyBusyNodeCouldFit(Area needed_area, FamilyId family) {
+  const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
   if (index_) {
     const auto result = index_->AnyBusyFit(needed_area, family);
     meter_.Add(StepKind::kSchedulingSearch, result.steps);
@@ -248,6 +255,7 @@ bool ResourceStore::AnyBusyNodeCouldFit(Area needed_area, FamilyId family) {
 
 std::optional<NodeId> ResourceStore::FindBestIdleConfiguredNode(
     Area needed_area, FamilyId family) {
+  const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
   if (index_) {
     meter_.Add(StepKind::kSchedulingSearch, nodes_.size());
     return index_->BestIdleConfigured(needed_area, family);
@@ -270,6 +278,7 @@ std::optional<NodeId> ResourceStore::FindBestIdleConfiguredNode(
 std::optional<NodeId> ResourceStore::FindRankedHostNode(Area needed_area,
                                                         HostRank rank,
                                                         FamilyId family) {
+  const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
   if (index_) {
     meter_.Add(StepKind::kSchedulingSearch, nodes_.size());
     return index_->RankedHost(needed_area, rank, family, nodes_);

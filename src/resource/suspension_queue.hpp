@@ -17,6 +17,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "obs/profiler.hpp"
 #include "resource/sus_queue_index.hpp"
 #include "resource/workload_meter.hpp"
 #include "util/types.hpp"
@@ -86,22 +87,26 @@ class SuspensionQueue {
 
   [[nodiscard]] std::optional<std::size_t> OldestExactMatch(
       ConfigId config) const {
+    const obs::ScopedPhaseTimer timer(obs::ProfPhase::kSusQueueQuery);
     return index_->OldestExactMatch(config);
   }
   [[nodiscard]] std::optional<std::size_t> BestPriorityExactMatch(
       ConfigId config) const {
+    const obs::ScopedPhaseTimer timer(obs::ProfPhase::kSusQueueQuery);
     return index_->BestPriorityExactMatch(config);
   }
   /// `from` is a FIFO position (entries before it are skipped).
   [[nodiscard]] std::optional<std::size_t> OldestEligible(
       FamilyId family, Area area_bound, std::size_t from,
       ConfigId match_config) const {
+    const obs::ScopedPhaseTimer timer(obs::ProfPhase::kSusQueueQuery);
     return index_->OldestEligible(family, area_bound,
                                   from == 0 ? TaskId::invalid() : queue_[from],
                                   match_config);
   }
   [[nodiscard]] std::optional<std::size_t> BestPriorityEligible(
       FamilyId family, Area area_bound, ConfigId match_config) const {
+    const obs::ScopedPhaseTimer timer(obs::ProfPhase::kSusQueueQuery);
     return index_->BestPriorityEligible(family, area_bound, match_config);
   }
 

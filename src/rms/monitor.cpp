@@ -5,7 +5,12 @@
 namespace dreamsim::rms {
 
 void MonitoringModule::Observe(Tick now, std::size_t suspended_tasks) {
-  const SystemSnapshot snapshot = info_.Snapshot(now);
+  ObserveSnapshot(info_.Snapshot(now), suspended_tasks);
+}
+
+void MonitoringModule::ObserveSnapshot(const SystemSnapshot& snapshot,
+                                       std::size_t suspended_tasks) {
+  const Tick now = snapshot.at;
   running_tasks_.Set(now, static_cast<double>(snapshot.running_tasks));
   busy_nodes_.Set(now, static_cast<double>(snapshot.busy_nodes));
   wasted_area_.Set(now, static_cast<double>(snapshot.wasted_area));

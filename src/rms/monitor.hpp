@@ -36,6 +36,11 @@ class MonitoringModule {
   /// completion event) along with the current suspension-queue depth.
   void Observe(Tick now, std::size_t suspended_tasks);
 
+  /// Same, from a snapshot the caller already took (the simulator shares
+  /// one Snapshot() between the monitor and the state observer).
+  void ObserveSnapshot(const SystemSnapshot& snapshot,
+                       std::size_t suspended_tasks);
+
   /// Finalizes the signals at tick `now` and returns the summary.
   [[nodiscard]] UtilizationReport Finish(Tick now) const;
 

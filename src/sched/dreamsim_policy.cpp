@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "obs/profiler.hpp"
+
 namespace dreamsim::sched {
 namespace {
 
@@ -59,42 +61,57 @@ Decision DreamSimPolicy::SchedulePartial(const resource::Task& task,
   // Phase 1 — Allocation: "the task is directly allocated to one of the
   // idle nodes already configured with the C_pref ... best-match is the
   // node which possesses the minimum AvailableArea".
-  if (const auto entry = store.FindBestIdleEntry(cfg.id)) {
-    store.AssignTask(*entry, task.id);
-    return Placed(*entry, cfg.id, 0, PlacementKind::kAllocation,
-                  resolved.used_closest_match);
+  {
+    const obs::ScopedPhaseTimer timer(obs::ProfPhase::kAllocation);
+    if (const auto entry = store.FindBestIdleEntry(cfg.id)) {
+      store.AssignTask(*entry, task.id);
+      return Placed(*entry, cfg.id, 0, PlacementKind::kAllocation,
+                    resolved.used_closest_match);
+    }
   }
 
   // Phase 2 — Configuration: "one of the blank nodes is configured".
-  if (const auto node_id = store.FindBestBlankNode(cfg.required_area, cfg.family)) {
-    const EntryRef entry = store.Configure(*node_id, cfg.id);
-    store.AssignTask(entry, task.id);
-    return Placed(entry, cfg.id, cfg.config_time,
-                  PlacementKind::kConfiguration, resolved.used_closest_match);
+  {
+    const obs::ScopedPhaseTimer timer(obs::ProfPhase::kConfiguration);
+    if (const auto node_id =
+            store.FindBestBlankNode(cfg.required_area, cfg.family)) {
+      const EntryRef entry = store.Configure(*node_id, cfg.id);
+      store.AssignTask(entry, task.id);
+      return Placed(entry, cfg.id, cfg.config_time,
+                    PlacementKind::kConfiguration,
+                    resolved.used_closest_match);
+    }
   }
 
   // Phase 3 — Partial configuration: "a node which contains a
   // reconfigurable region with sufficient area ... chooses a node with
   // minimum sufficient region".
-  if (const auto node_id = store.FindBestPartiallyBlankNode(cfg.required_area, cfg.family)) {
-    const EntryRef entry = store.Configure(*node_id, cfg.id);
-    store.AssignTask(entry, task.id);
-    return Placed(entry, cfg.id, cfg.config_time,
-                  PlacementKind::kPartialConfiguration,
-                  resolved.used_closest_match);
+  {
+    const obs::ScopedPhaseTimer timer(obs::ProfPhase::kPartialConfiguration);
+    if (const auto node_id =
+            store.FindBestPartiallyBlankNode(cfg.required_area, cfg.family)) {
+      const EntryRef entry = store.Configure(*node_id, cfg.id);
+      store.AssignTask(entry, task.id);
+      return Placed(entry, cfg.id, cfg.config_time,
+                    PlacementKind::kPartialConfiguration,
+                    resolved.used_closest_match);
+    }
   }
 
   // Phase 4 — Partial re-configuration (Algorithm 1): reclaim idle entries
   // on some node until the new region fits, then configure it.
-  if (const auto plan = store.FindAnyIdleNode(cfg.required_area, cfg.family)) {
-    for (const resource::SlotIndex slot : plan->removable_entries) {
-      store.ReclaimSlot(EntryRef{plan->node, slot});
+  {
+    const obs::ScopedPhaseTimer timer(obs::ProfPhase::kPartialReconfiguration);
+    if (const auto plan = store.FindAnyIdleNode(cfg.required_area, cfg.family)) {
+      for (const resource::SlotIndex slot : plan->removable_entries) {
+        store.ReclaimSlot(EntryRef{plan->node, slot});
+      }
+      const EntryRef entry = store.Configure(plan->node, cfg.id);
+      store.AssignTask(entry, task.id);
+      return Placed(entry, cfg.id, cfg.config_time,
+                    PlacementKind::kPartialReconfiguration,
+                    resolved.used_closest_match);
     }
-    const EntryRef entry = store.Configure(plan->node, cfg.id);
-    store.AssignTask(entry, task.id);
-    return Placed(entry, cfg.id, cfg.config_time,
-                  PlacementKind::kPartialReconfiguration,
-                  resolved.used_closest_match);
   }
 
   return SuspendOrDiscard(cfg, store,
@@ -108,31 +125,42 @@ Decision DreamSimPolicy::ScheduleFull(const resource::Task& task,
 
   // Phase 1 — Allocation to an idle node already holding the configuration
   // (in full mode a node has at most one configuration).
-  if (const auto entry = store.FindBestIdleEntry(cfg.id)) {
-    store.AssignTask(*entry, task.id);
-    return Placed(*entry, cfg.id, 0, PlacementKind::kAllocation,
-                  resolved.used_closest_match);
+  {
+    const obs::ScopedPhaseTimer timer(obs::ProfPhase::kAllocation);
+    if (const auto entry = store.FindBestIdleEntry(cfg.id)) {
+      store.AssignTask(*entry, task.id);
+      return Placed(*entry, cfg.id, 0, PlacementKind::kAllocation,
+                    resolved.used_closest_match);
+    }
   }
 
   // Phase 2 — Configuration of a blank node.
-  if (const auto node_id = store.FindBestBlankNode(cfg.required_area, cfg.family)) {
-    const EntryRef entry = store.Configure(*node_id, cfg.id);
-    store.AssignTask(entry, task.id);
-    return Placed(entry, cfg.id, cfg.config_time,
-                  PlacementKind::kConfiguration, resolved.used_closest_match);
+  {
+    const obs::ScopedPhaseTimer timer(obs::ProfPhase::kConfiguration);
+    if (const auto node_id =
+            store.FindBestBlankNode(cfg.required_area, cfg.family)) {
+      const EntryRef entry = store.Configure(*node_id, cfg.id);
+      store.AssignTask(entry, task.id);
+      return Placed(entry, cfg.id, cfg.config_time,
+                    PlacementKind::kConfiguration,
+                    resolved.used_closest_match);
+    }
   }
 
   // Phase 3 — Full re-configuration: wipe the tightest idle, non-blank node
   // whose whole fabric fits the configuration, then configure it for this
   // task.
-  if (const auto node_id =
-          store.FindBestIdleConfiguredNode(cfg.required_area, cfg.family)) {
-    store.BlankNode(*node_id);
-    const EntryRef entry = store.Configure(*node_id, cfg.id);
-    store.AssignTask(entry, task.id);
-    return Placed(entry, cfg.id, cfg.config_time,
-                  PlacementKind::kFullReconfiguration,
-                  resolved.used_closest_match);
+  {
+    const obs::ScopedPhaseTimer timer(obs::ProfPhase::kFullReconfiguration);
+    if (const auto node_id =
+            store.FindBestIdleConfiguredNode(cfg.required_area, cfg.family)) {
+      store.BlankNode(*node_id);
+      const EntryRef entry = store.Configure(*node_id, cfg.id);
+      store.AssignTask(entry, task.id);
+      return Placed(entry, cfg.id, cfg.config_time,
+                    PlacementKind::kFullReconfiguration,
+                    resolved.used_closest_match);
+    }
   }
 
   return SuspendOrDiscard(cfg, store,

@@ -165,6 +165,14 @@ std::string CliParser::GetString(std::string_view name) const {
   return Require(name, Type::kString).value;
 }
 
+bool CliParser::WasSet(std::string_view name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    throw std::logic_error(Format("option --{} not registered", name));
+  }
+  return it->second.set;
+}
+
 std::int64_t CliParser::GetInt(std::string_view name) const {
   std::int64_t v = 0;
   ParseInt(Require(name, Type::kInt).value, v);

@@ -33,6 +33,10 @@ class CliParser {
   [[nodiscard]] double GetDouble(std::string_view name) const;
   [[nodiscard]] bool GetBool(std::string_view name) const;
 
+  /// True when the user passed the option explicitly (any type); false for
+  /// defaults. Throws std::logic_error on unregistered names.
+  [[nodiscard]] bool WasSet(std::string_view name) const;
+
   /// Positional (non-flag) arguments in order of appearance.
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;

@@ -24,9 +24,11 @@ std::string CsvEscape(std::string_view cell) {
   return out;
 }
 
-CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
-    : out_(out), columns_(header.size()) {
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header,
+                     std::size_t buffer_bytes)
+    : out_(out), columns_(header.size()), buffer_bytes_(buffer_bytes) {
   if (columns_ == 0) throw std::invalid_argument("CSV header must be non-empty");
+  buffer_.reserve(buffer_bytes_);
   for (std::size_t i = 0; i < header.size(); ++i) {
     if (i > 0) out_ << ',';
     out_ << CsvEscape(header[i]);
@@ -34,10 +36,19 @@ CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
   out_ << '\n';
 }
 
+CsvWriter::~CsvWriter() { Flush(); }
+
+void CsvWriter::Flush() {
+  if (buffer_.empty()) return;
+  out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  buffer_.clear();
+}
+
 CsvWriter& CsvWriter::BeginRow() {
   if (in_row_) throw std::logic_error("BeginRow called inside an open row");
   in_row_ = true;
   fields_in_row_ = 0;
+  row_.clear();
   return *this;
 }
 
@@ -46,8 +57,8 @@ void CsvWriter::Emit(std::string_view raw) {
   if (fields_in_row_ >= columns_) {
     throw std::logic_error("row wider than header");
   }
-  if (fields_in_row_ > 0) out_ << ',';
-  out_ << raw;
+  if (fields_in_row_ > 0) row_.push_back(',');
+  row_.append(raw);
   ++fields_in_row_;
 }
 
@@ -57,12 +68,16 @@ CsvWriter& CsvWriter::Field(std::string_view value) {
 }
 
 CsvWriter& CsvWriter::Field(std::int64_t value) {
-  Emit(Format("{}", value));
+  char buf[24];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  Emit(std::string_view(buf, static_cast<std::size_t>(result.ptr - buf)));
   return *this;
 }
 
 CsvWriter& CsvWriter::Field(std::uint64_t value) {
-  Emit(Format("{}", value));
+  char buf[24];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  Emit(std::string_view(buf, static_cast<std::size_t>(result.ptr - buf)));
   return *this;
 }
 
@@ -76,7 +91,13 @@ void CsvWriter::EndRow() {
   if (fields_in_row_ != columns_) {
     throw std::logic_error("row narrower than header");
   }
-  out_ << '\n';
+  row_.push_back('\n');
+  if (buffer_bytes_ == 0) {
+    out_.write(row_.data(), static_cast<std::streamsize>(row_.size()));
+  } else {
+    buffer_.append(row_);
+    if (buffer_.size() >= buffer_bytes_) Flush();
+  }
   in_row_ = false;
   ++rows_;
 }

@@ -14,8 +14,17 @@ namespace dreamsim {
 /// by the header; writing a row of a different width throws.
 class CsvWriter {
  public:
-  /// Writes the header row immediately.
-  CsvWriter(std::ostream& out, std::vector<std::string> header);
+  /// Writes the header row immediately. With `buffer_bytes` > 0, completed
+  /// rows are batched into an internal buffer written out when it fills,
+  /// on Flush(), and on destruction — one ostream call per batch instead
+  /// of per row, for writers on hot paths (the obs timeline sampler emits
+  /// tens of thousands of rows per run).
+  CsvWriter(std::ostream& out, std::vector<std::string> header,
+            std::size_t buffer_bytes = 0);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
 
   /// Starts a new row; follow with Field() calls and EndRow().
   CsvWriter& BeginRow();
@@ -28,6 +37,10 @@ class CsvWriter {
   /// Convenience: writes a full row of preformatted cells.
   void WriteRow(const std::vector<std::string>& cells);
 
+  /// Writes any buffered rows to the output stream (no-op when
+  /// unbuffered). Does not flush the stream itself.
+  void Flush();
+
   [[nodiscard]] std::size_t rows_written() const { return rows_; }
 
  private:
@@ -38,6 +51,12 @@ class CsvWriter {
   std::size_t fields_in_row_ = 0;
   bool in_row_ = false;
   std::size_t rows_ = 0;
+  /// Rows are assembled here and written with one ostream call at EndRow —
+  /// per-field ostream writes would pay a stream sentry each (CSV export
+  /// sits on hot paths: the obs timeline sampler, workload traces).
+  std::string row_;
+  std::string buffer_;
+  std::size_t buffer_bytes_;
 };
 
 /// Quotes a cell per RFC 4180 when it contains a comma, quote, or newline.

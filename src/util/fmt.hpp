@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <charconv>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -14,12 +15,27 @@
 namespace dreamsim {
 namespace fmt_detail {
 
+/// Non-character integral types take a std::to_chars fast path below; the
+/// digits are identical to the classic-locale operator<< rendering, minus
+/// the per-argument ostringstream cost (the observability layer formats on
+/// hot paths).
+template <typename T>
+inline constexpr bool kIsPlainInteger =
+    std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+    !std::is_same_v<T, char> && !std::is_same_v<T, signed char> &&
+    !std::is_same_v<T, unsigned char> && !std::is_same_v<T, wchar_t> &&
+    !std::is_same_v<T, char16_t> && !std::is_same_v<T, char32_t>;
+
 template <typename T>
 std::string Stringify(const T& value) {
   if constexpr (std::is_same_v<T, bool>) {
     return value ? "true" : "false";
   } else if constexpr (std::is_convertible_v<T, std::string_view>) {
     return std::string(std::string_view(value));
+  } else if constexpr (kIsPlainInteger<T>) {
+    char buf[24];
+    const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+    return std::string(buf, result.ptr);
   } else {
     std::ostringstream os;
     os.imbue(std::locale::classic());

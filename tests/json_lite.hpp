@@ -1,0 +1,147 @@
+// Test-only minimal JSON syntax checker (no external deps): validates that
+// a string is one well-formed JSON value. Used to vet the observability
+// layer's emitted documents without a third-party parser.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace dreamsim::testjson {
+
+class Checker {
+ public:
+  explicit Checker(std::string_view text) : text_(text) {}
+
+  /// True when the whole input is exactly one JSON value (plus whitespace).
+  bool Valid() {
+    pos_ = 0;
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+  [[nodiscard]] std::string Error() const {
+    return "JSON syntax error near offset " + std::to_string(pos_) + ": '" +
+           std::string(text_.substr(pos_, 24)) + "'";
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(esc) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+  bool Number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline bool IsValidJson(std::string_view text) {
+  return Checker(text).Valid();
+}
+
+}  // namespace dreamsim::testjson

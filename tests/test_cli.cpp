@@ -133,5 +133,19 @@ TEST(CliParser, TypeMismatchAccessThrows) {
   EXPECT_THROW((void)cli.GetInt("missing"), std::logic_error);
 }
 
+TEST(CliParser, WasSetDistinguishesDefaultsFromExplicit) {
+  // WasSet backs the --trace-out deprecation alias: the tool must tell an
+  // explicitly passed option apart from one left at its default.
+  CliParser cli("test");
+  cli.AddInt("n", 7, "");
+  cli.AddString("out", "", "");
+  cli.AddBool("flag", false, "");
+  ASSERT_TRUE(ParseArgs(cli, {"--n=7", "--flag"}));
+  EXPECT_TRUE(cli.WasSet("n"));  // explicit, even though it equals the default
+  EXPECT_TRUE(cli.WasSet("flag"));
+  EXPECT_FALSE(cli.WasSet("out"));
+  EXPECT_THROW((void)cli.WasSet("missing"), std::logic_error);
+}
+
 }  // namespace
 }  // namespace dreamsim

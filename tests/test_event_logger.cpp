@@ -110,8 +110,133 @@ TEST(EventLogger, KindNames) {
   EXPECT_EQ(ToString(SimEvent::Kind::kArrival), "arrival");
   EXPECT_EQ(ToString(SimEvent::Kind::kPlaced), "placed");
   EXPECT_EQ(ToString(SimEvent::Kind::kSuspended), "suspended");
+  EXPECT_EQ(ToString(SimEvent::Kind::kRequeued), "requeued");
   EXPECT_EQ(ToString(SimEvent::Kind::kDiscarded), "discarded");
   EXPECT_EQ(ToString(SimEvent::Kind::kCompleted), "completed");
+  EXPECT_EQ(ToString(SimEvent::Kind::kKilled), "killed");
+  EXPECT_EQ(ToString(SimEvent::Kind::kNodeFailed), "node-failed");
+  EXPECT_EQ(ToString(SimEvent::Kind::kNodeRepaired), "node-repaired");
+}
+
+/// A configuration whose faults reliably kill running tasks and exhaust a
+/// few retry budgets, so the conservation audit sees every lifecycle edge.
+SimulationConfig FaultyConfig(std::uint64_t seed) {
+  SimulationConfig config = SmallConfig(350, 10, seed);
+  // Short tasks relative to the MTBF: kills do not consume the retry
+  // budget, so long tasks + frequent faults would livelock.
+  config.tasks.min_required_time = 80;
+  config.tasks.max_required_time = 900;
+  config.faults.mtbf = 3'000;
+  config.faults.mttr = 600;
+  config.faults.script = {{250, NodeId{1}, FaultAction::kFail},
+                          {1'200, NodeId{1}, FaultAction::kRepair},
+                          {2'000, NodeId{4}, FaultAction::kFail}};
+  config.max_suspension_retries = 4;
+  return config;
+}
+
+std::size_t Count(const Recorded& recorded, SimEvent::Kind kind) {
+  const auto it = recorded.counts.find(kind);
+  return it == recorded.counts.end() ? 0 : it->second;
+}
+
+/// Satellite (b): the event-stream conservation audit. Every generated
+/// task reaches exactly one terminal event (completed or discarded), and
+/// every placement is closed by exactly one completion or kill — in plain
+/// runs and under fault injection alike.
+void AuditConservation(SimulationConfig config) {
+  MetricsReport report;
+  const Recorded recorded = RunWithLogger(std::move(config), &report);
+
+  std::map<std::uint32_t, std::size_t> terminals;
+  std::size_t arrivals = 0;
+  for (const SimEvent& event : recorded.events) {
+    if (event.kind == SimEvent::Kind::kArrival) ++arrivals;
+    if (event.kind == SimEvent::Kind::kCompleted ||
+        event.kind == SimEvent::Kind::kDiscarded) {
+      ++terminals[event.task.value()];
+    }
+  }
+  EXPECT_EQ(arrivals, report.total_tasks);
+  ASSERT_EQ(terminals.size(), report.total_tasks)
+      << "some task never reached a terminal event";
+  for (const auto& [task, count] : terminals) {
+    EXPECT_EQ(count, 1u) << "task " << task
+                         << " has multiple terminal events";
+  }
+  EXPECT_EQ(report.total_tasks, report.completed_tasks +
+                                    report.discarded_tasks);
+  // Every placement ends in exactly one completion or kill.
+  EXPECT_EQ(Count(recorded, SimEvent::Kind::kPlaced),
+            Count(recorded, SimEvent::Kind::kCompleted) +
+                Count(recorded, SimEvent::Kind::kKilled));
+  EXPECT_EQ(Count(recorded, SimEvent::Kind::kKilled), report.tasks_killed);
+  // kSuspended is the voluntary count the report meters; fault re-queues
+  // are kRequeued and must not inflate it.
+  EXPECT_EQ(Count(recorded, SimEvent::Kind::kSuspended),
+            report.suspended_ever);
+}
+
+TEST(EventLogger, ConservationPlainRun) {
+  AuditConservation(SmallConfig(400, 8, 21));
+}
+
+TEST(EventLogger, ConservationUnderFaults) {
+  MetricsReport probe;
+  (void)RunWithLogger(FaultyConfig(13), &probe);
+  ASSERT_GT(probe.tasks_killed, 0u) << "fault config too tame for the audit";
+  AuditConservation(FaultyConfig(13));
+}
+
+TEST(EventLogger, EveryRequeueFollowsAKillForThatTask) {
+  MetricsReport report;
+  const Recorded recorded = RunWithLogger(FaultyConfig(13), &report);
+  ASSERT_GT(report.tasks_killed, 0u);
+  // A kill is immediately resolved for its task: the task's next event is
+  // either the involuntary re-queue or the discard, never anything else.
+  std::map<std::uint32_t, bool> kill_pending;
+  std::size_t requeues = 0;
+  for (const SimEvent& event : recorded.events) {
+    if (!event.task.valid()) continue;
+    const std::uint32_t task = event.task.value();
+    if (event.kind == SimEvent::Kind::kKilled) {
+      EXPECT_FALSE(kill_pending[task]) << "task " << task;
+      kill_pending[task] = true;
+      continue;
+    }
+    if (event.kind == SimEvent::Kind::kRequeued) {
+      ++requeues;
+      EXPECT_TRUE(kill_pending[task])
+          << "task " << task << " requeued without a preceding kill";
+      kill_pending[task] = false;
+      continue;
+    }
+    if (kill_pending[task]) {
+      EXPECT_EQ(event.kind, SimEvent::Kind::kDiscarded) << "task " << task;
+      kill_pending[task] = false;
+    }
+  }
+  EXPECT_GT(requeues, 0u);
+  for (const auto& [task, pending] : kill_pending) {
+    EXPECT_FALSE(pending) << "task " << task << " left with an open kill";
+  }
+}
+
+TEST(EventLogger, PlacedEventsCarryPlacementAndSetupFields) {
+  const Recorded recorded = RunWithLogger(SmallConfig(300, 8), nullptr);
+  std::size_t placed = 0;
+  for (const SimEvent& event : recorded.events) {
+    if (event.kind != SimEvent::Kind::kPlaced) continue;
+    ++placed;
+    const auto kind = static_cast<int>(event.placement);
+    EXPECT_GE(kind, 0);
+    EXPECT_LT(kind, 5);
+    // Allocation reuses a live configuration: no configuration wait.
+    if (event.placement == sched::PlacementKind::kAllocation) {
+      EXPECT_EQ(event.config_wait, 0u);
+    }
+  }
+  EXPECT_GT(placed, 0u);
 }
 
 TEST(EventLogger, DisabledByDefaultCostsNothing) {

@@ -1,0 +1,176 @@
+// Differential proof that the observability layer is a pure observer
+// (ISSUE acceptance): with RunTracer, TimeSeriesSampler, and the
+// PhaseProfiler all enabled, every MetricsReport field — fault block
+// included — and the UtilizationReport are bit-identical to an
+// observability-free run, in both index modes, with and without faults.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "obs/profiler.hpp"
+#include "obs/run_tracer.hpp"
+#include "obs/timeline.hpp"
+
+namespace dreamsim {
+namespace {
+
+using core::FaultAction;
+using core::MetricsReport;
+using core::SimulationConfig;
+using core::Simulator;
+
+struct ObsCase {
+  bool indexed = true;
+  bool faults = false;
+};
+
+void PrintTo(const ObsCase& c, std::ostream* os) {
+  *os << (c.indexed ? "indexed" : "scan") << (c.faults ? " faults" : "");
+}
+
+SimulationConfig MakeConfig(const ObsCase& c, std::uint64_t seed) {
+  SimulationConfig config;
+  config.nodes.count = 12;
+  config.configs.count = 8;
+  config.tasks.total_tasks = 350;
+  config.scheduler_index = c.indexed;
+  config.drain_index = c.indexed;
+  config.seed = seed;
+  if (c.faults) {
+    // Short tasks relative to the MTBF: failures interrupt running work
+    // without statistically livelocking the retry loop (kills do not
+    // consume the retry budget).
+    config.tasks.min_required_time = 80;
+    config.tasks.max_required_time = 900;
+    config.faults.mtbf = 4'000;
+    config.faults.mttr = 800;
+    config.faults.script = {{300, NodeId{2}, FaultAction::kFail},
+                            {1'500, NodeId{2}, FaultAction::kRepair}};
+    config.max_suspension_retries = 8;
+  }
+  return config;
+}
+
+struct RunResult {
+  MetricsReport report;
+  rms::UtilizationReport utilization;
+};
+
+RunResult RunPlain(const ObsCase& c, std::uint64_t seed) {
+  Simulator sim(MakeConfig(c, seed));
+  RunResult result;
+  result.report = sim.Run();
+  result.utilization = sim.utilization();
+  return result;
+}
+
+/// Same run with the full observability stack attached: both trace formats
+/// exercised across the suite, fine-grained sampling, profiler recording.
+RunResult RunObserved(const ObsCase& c, std::uint64_t seed,
+                      obs::TraceFormat format) {
+  obs::PhaseProfiler::SetEnabled(true);
+  obs::PhaseProfiler::Instance().Reset();
+  std::ostringstream trace_out;
+  std::ostringstream timeline_out;
+  Simulator sim(MakeConfig(c, seed));
+  obs::RunTracer::RunInfo info;
+  info.label = "obs-diff";
+  info.mode = "partial";
+  info.seed = seed;
+  info.nodes = sim.store().node_count();
+  obs::RunTracer tracer(trace_out, format, info);
+  obs::TimeSeriesSampler sampler(timeline_out, 50);
+  sim.SetEventLogger(
+      [&tracer](const core::SimEvent& e) { tracer.OnEvent(e); });
+  sim.SetStateObserver(
+      [&sampler](const core::StateSample& s) { sampler.Observe(s); });
+  RunResult result;
+  result.report = sim.Run();
+  result.utilization = sim.utilization();
+  tracer.Finish(sim.kernel().now());
+  sampler.Finish(sim.kernel().now());
+  obs::PhaseProfiler::SetEnabled(false);
+  // The observers must actually have seen the run for this diff to mean
+  // anything.
+  EXPECT_GT(tracer.events_seen(), 0u);
+  EXPECT_GT(sampler.observations(), 0u);
+  EXPECT_GT(
+      obs::PhaseProfiler::Instance().stats(obs::ProfPhase::kAllocation).calls,
+      0u);
+  EXPECT_FALSE(trace_out.str().empty());
+  EXPECT_FALSE(timeline_out.str().empty());
+  return result;
+}
+
+void ExpectIdentical(const RunResult& obs_run, const RunResult& plain) {
+  const MetricsReport& x = obs_run.report;
+  const MetricsReport& y = plain.report;
+  EXPECT_EQ(x.total_tasks, y.total_tasks);
+  EXPECT_EQ(x.completed_tasks, y.completed_tasks);
+  EXPECT_EQ(x.discarded_tasks, y.discarded_tasks);
+  EXPECT_EQ(x.suspended_ever, y.suspended_ever);
+  EXPECT_EQ(x.closest_match_tasks, y.closest_match_tasks);
+  EXPECT_EQ(x.avg_wasted_area_per_task, y.avg_wasted_area_per_task);
+  EXPECT_EQ(x.avg_task_running_time, y.avg_task_running_time);
+  EXPECT_EQ(x.avg_reconfig_count_per_node, y.avg_reconfig_count_per_node);
+  EXPECT_EQ(x.avg_config_time_per_task, y.avg_config_time_per_task);
+  EXPECT_EQ(x.avg_waiting_time_per_task, y.avg_waiting_time_per_task);
+  EXPECT_EQ(x.avg_scheduling_steps_per_task, y.avg_scheduling_steps_per_task);
+  EXPECT_EQ(x.total_scheduler_workload, y.total_scheduler_workload);
+  EXPECT_EQ(x.total_used_nodes, y.total_used_nodes);
+  EXPECT_EQ(x.total_simulation_time, y.total_simulation_time);
+  EXPECT_EQ(x.scheduling_steps_total, y.scheduling_steps_total);
+  EXPECT_EQ(x.housekeeping_steps_total, y.housekeeping_steps_total);
+  EXPECT_EQ(x.total_reconfigurations, y.total_reconfigurations);
+  EXPECT_EQ(x.total_configuration_time, y.total_configuration_time);
+  EXPECT_EQ(x.avg_suspension_retries, y.avg_suspension_retries);
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(x.placements_by_kind[k], y.placements_by_kind[k]) << "kind " << k;
+  }
+  EXPECT_EQ(x.placements_per_config, y.placements_per_config);
+  EXPECT_EQ(x.failures_injected, y.failures_injected);
+  EXPECT_EQ(x.repairs_completed, y.repairs_completed);
+  EXPECT_EQ(x.tasks_killed, y.tasks_killed);
+  EXPECT_EQ(x.tasks_recovered, y.tasks_recovered);
+  EXPECT_EQ(x.tasks_lost_to_failure, y.tasks_lost_to_failure);
+  EXPECT_EQ(x.lost_work_area_ticks, y.lost_work_area_ticks);
+  EXPECT_EQ(x.total_downtime, y.total_downtime);
+  // The monitoring integrals must be untouched as well (the sampler shares
+  // the monitor's snapshots, it must not perturb them).
+  EXPECT_EQ(obs_run.utilization.avg_running_tasks,
+            plain.utilization.avg_running_tasks);
+  EXPECT_EQ(obs_run.utilization.avg_busy_nodes,
+            plain.utilization.avg_busy_nodes);
+  EXPECT_EQ(obs_run.utilization.avg_wasted_area,
+            plain.utilization.avg_wasted_area);
+  EXPECT_EQ(obs_run.utilization.peak_running_tasks,
+            plain.utilization.peak_running_tasks);
+  EXPECT_EQ(obs_run.utilization.peak_suspended_tasks,
+            plain.utilization.peak_suspended_tasks);
+  EXPECT_EQ(obs_run.utilization.observed_until,
+            plain.utilization.observed_until);
+}
+
+class ObsDiff : public ::testing::TestWithParam<ObsCase> {};
+
+TEST_P(ObsDiff, ObservedRunsAreBitIdentical) {
+  const ObsCase c = GetParam();
+  // Seed 42 is the acceptance seed; two more guard against coincidence.
+  for (const std::uint64_t seed : {42ull, 7ull, 1234ull}) {
+    const RunResult plain = RunPlain(c, seed);
+    ExpectIdentical(RunObserved(c, seed, obs::TraceFormat::kJsonl), plain);
+    ExpectIdentical(RunObserved(c, seed, obs::TraceFormat::kChrome), plain);
+    if (HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ObsCombos, ObsDiff,
+                         ::testing::Values(ObsCase{true, false},
+                                           ObsCase{false, false},
+                                           ObsCase{true, true},
+                                           ObsCase{false, true}));
+
+}  // namespace
+}  // namespace dreamsim

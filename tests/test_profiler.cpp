@@ -1,0 +1,145 @@
+// Tests for obs::PhaseProfiler and ScopedPhaseTimer: histogram binning,
+// accumulation, the enabled-flag gate, report rendering, and concurrent
+// recording (the profiler must stay sane under parallel sweeps).
+#include "obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "json_lite.hpp"
+
+namespace dreamsim::obs {
+namespace {
+
+/// Restores the global profiler to a clean, disabled state around each test
+/// (the profiler is a process-global singleton).
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PhaseProfiler::SetEnabled(false);
+    PhaseProfiler::Instance().Reset();
+  }
+  void TearDown() override {
+    PhaseProfiler::SetEnabled(false);
+    PhaseProfiler::Instance().Reset();
+  }
+};
+
+TEST_F(ProfilerTest, BinOfEdges) {
+  // Bin 0 holds only 0 ns; bin i (i >= 1) holds [2^(i-1), 2^i) ns.
+  EXPECT_EQ(PhaseProfiler::BinOf(0), 0u);
+  EXPECT_EQ(PhaseProfiler::BinOf(1), 1u);
+  EXPECT_EQ(PhaseProfiler::BinOf(2), 2u);
+  EXPECT_EQ(PhaseProfiler::BinOf(3), 2u);
+  EXPECT_EQ(PhaseProfiler::BinOf(4), 3u);
+  EXPECT_EQ(PhaseProfiler::BinOf(1023), 10u);
+  EXPECT_EQ(PhaseProfiler::BinOf(1024), 11u);
+  // The last bin saturates.
+  EXPECT_EQ(PhaseProfiler::BinOf(~std::uint64_t{0}), PhaseProfiler::kBins - 1);
+  EXPECT_EQ(PhaseProfiler::BinOf(std::uint64_t{1} << 40),
+            PhaseProfiler::kBins - 1);
+}
+
+TEST_F(ProfilerTest, RecordAccumulatesAndResetClears) {
+  PhaseProfiler& prof = PhaseProfiler::Instance();
+  prof.Record(ProfPhase::kAllocation, 10);
+  prof.Record(ProfPhase::kAllocation, 30);
+  prof.Record(ProfPhase::kStoreQuery, 5);
+
+  const auto alloc = prof.stats(ProfPhase::kAllocation);
+  EXPECT_EQ(alloc.calls, 2u);
+  EXPECT_EQ(alloc.total_ns, 40u);
+  EXPECT_EQ(alloc.max_ns, 30u);
+  EXPECT_DOUBLE_EQ(alloc.mean_ns(), 20.0);
+  EXPECT_EQ(alloc.bins[PhaseProfiler::BinOf(10)], 1u);
+  EXPECT_EQ(alloc.bins[PhaseProfiler::BinOf(30)], 1u);
+
+  const auto query = prof.stats(ProfPhase::kStoreQuery);
+  EXPECT_EQ(query.calls, 1u);
+  EXPECT_EQ(query.max_ns, 5u);
+  // Untouched phase stays zero.
+  EXPECT_EQ(prof.stats(ProfPhase::kSuspensionDrain).calls, 0u);
+  EXPECT_DOUBLE_EQ(prof.stats(ProfPhase::kSuspensionDrain).mean_ns(), 0.0);
+
+  prof.Reset();
+  EXPECT_EQ(prof.stats(ProfPhase::kAllocation).calls, 0u);
+  EXPECT_EQ(prof.stats(ProfPhase::kAllocation).total_ns, 0u);
+  EXPECT_EQ(prof.stats(ProfPhase::kAllocation).max_ns, 0u);
+}
+
+TEST_F(ProfilerTest, ScopedTimerIsInertWhileDisabled) {
+  ASSERT_FALSE(PhaseProfiler::enabled());
+  { const ScopedPhaseTimer timer(ProfPhase::kConfiguration); }
+  EXPECT_EQ(PhaseProfiler::Instance().stats(ProfPhase::kConfiguration).calls,
+            0u);
+
+  PhaseProfiler::SetEnabled(true);
+  { const ScopedPhaseTimer timer(ProfPhase::kConfiguration); }
+  { const ScopedPhaseTimer timer(ProfPhase::kConfiguration); }
+  EXPECT_EQ(PhaseProfiler::Instance().stats(ProfPhase::kConfiguration).calls,
+            2u);
+}
+
+TEST_F(ProfilerTest, PhaseNamesAreUniqueAndKnown) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kProfPhaseCount; ++i) {
+    const std::string_view name = ToString(static_cast<ProfPhase>(i));
+    EXPECT_NE(name, "?") << "phase " << i;
+    EXPECT_FALSE(name.empty());
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), kProfPhaseCount);
+  EXPECT_EQ(ToString(ProfPhase::kPartialReconfiguration),
+            "partial-reconfiguration");
+  EXPECT_EQ(ToString(ProfPhase::kSusQueueQuery), "sus-queue-query");
+}
+
+TEST_F(ProfilerTest, ReportListsActivePhases) {
+  PhaseProfiler& prof = PhaseProfiler::Instance();
+  prof.Record(ProfPhase::kAllocation, 100);
+  prof.Record(ProfPhase::kSuspensionDrain, 2000);
+  const std::string report = prof.Report();
+  EXPECT_NE(report.find("allocation"), std::string::npos);
+  EXPECT_NE(report.find("suspension-drain"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, WriteJsonProducesValidJson) {
+  PhaseProfiler& prof = PhaseProfiler::Instance();
+  prof.Record(ProfPhase::kStoreQuery, 7);
+  prof.Record(ProfPhase::kFullReconfiguration, 4096);
+  std::ostringstream out;
+  prof.WriteJson(out);
+  const std::string doc = out.str();
+  ASSERT_TRUE(testjson::IsValidJson(doc)) << testjson::Checker(doc).Error();
+  EXPECT_NE(doc.find("\"store-query\""), std::string::npos);
+  EXPECT_NE(doc.find("\"full-reconfiguration\""), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ConcurrentRecordingLosesNothing) {
+  PhaseProfiler& prof = PhaseProfiler::Instance();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&prof] {
+      for (int i = 0; i < kPerThread; ++i) {
+        prof.Record(ProfPhase::kSusQueueQuery, 3);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto stats = prof.stats(ProfPhase::kSusQueueQuery);
+  EXPECT_EQ(stats.calls, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.total_ns,
+            static_cast<std::uint64_t>(kThreads) * kPerThread * 3);
+  EXPECT_EQ(stats.max_ns, 3u);
+  EXPECT_EQ(stats.bins[PhaseProfiler::BinOf(3)], stats.calls);
+}
+
+}  // namespace
+}  // namespace dreamsim::obs

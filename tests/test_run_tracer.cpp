@@ -1,0 +1,219 @@
+// Tests for obs::RunTracer: JSONL schema, Chrome trace-event document
+// shape, span bookkeeping (tasks, configs, downtime), and observer purity.
+#include "obs/run_tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "json_lite.hpp"
+
+namespace dreamsim::obs {
+namespace {
+
+core::SimulationConfig SmallConfig(int tasks, int nodes,
+                                   std::uint64_t seed = 11) {
+  core::SimulationConfig config;
+  config.nodes.count = nodes;
+  config.configs.count = 6;
+  config.tasks.total_tasks = tasks;
+  config.seed = seed;
+  return config;
+}
+
+/// Runs a small simulation with a tracer attached; returns the rendered
+/// document and the final report.
+std::string TraceRun(core::SimulationConfig config, TraceFormat format,
+                     core::MetricsReport* report_out = nullptr,
+                     std::size_t* events_out = nullptr) {
+  std::ostringstream out;
+  core::Simulator sim(std::move(config));
+  RunTracer::RunInfo info;
+  info.label = "test";
+  info.mode = "partial";
+  info.seed = 11;
+  info.nodes = sim.store().node_count();
+  RunTracer tracer(out, format, info);
+  sim.SetEventLogger(
+      [&tracer](const core::SimEvent& e) { tracer.OnEvent(e); });
+  const core::MetricsReport report = sim.Run();
+  tracer.Finish(sim.kernel().now());
+  if (report_out) *report_out = report;
+  if (events_out) *events_out = tracer.events_seen();
+  return out.str();
+}
+
+std::size_t CountOccurrences(const std::string& text,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(TraceFormatNames, RoundTrip) {
+  EXPECT_EQ(ToString(TraceFormat::kJsonl), "jsonl");
+  EXPECT_EQ(ToString(TraceFormat::kChrome), "chrome");
+  EXPECT_EQ(ParseTraceFormat("jsonl"), TraceFormat::kJsonl);
+  EXPECT_EQ(ParseTraceFormat("chrome"), TraceFormat::kChrome);
+  EXPECT_FALSE(ParseTraceFormat("perfetto").has_value());
+  EXPECT_FALSE(ParseTraceFormat("").has_value());
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuotes) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("x\x01y", 3)), "x\\u0001y");
+}
+
+TEST(RunTracerJsonl, EveryLineIsValidJsonAndMetaComesFirst) {
+  std::size_t events = 0;
+  const std::string doc =
+      TraceRun(SmallConfig(200, 8), TraceFormat::kJsonl, nullptr, &events);
+  std::istringstream lines(doc);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_TRUE(testjson::IsValidJson(line)) << "line " << count << ": "
+                                             << line;
+    if (count == 0) {
+      EXPECT_NE(line.find("\"type\":\"meta\""), std::string::npos);
+      EXPECT_NE(line.find("\"label\":\"test\""), std::string::npos);
+      EXPECT_NE(line.find("\"nodes\":8"), std::string::npos);
+    } else {
+      // Event lines carry a tick and a kind (and no "type" key — only the
+      // meta line has one).
+      EXPECT_NE(line.find("{\"tick\":"), std::string::npos);
+      EXPECT_NE(line.find("\"kind\":\""), std::string::npos);
+      EXPECT_EQ(line.find("\"type\":"), std::string::npos);
+    }
+    ++count;
+  }
+  EXPECT_EQ(count, events + 1);  // meta line + one line per event
+  EXPECT_GT(events, 0u);
+}
+
+TEST(RunTracerJsonl, EventCountsMatchReport) {
+  core::MetricsReport report;
+  const std::string doc =
+      TraceRun(SmallConfig(300, 8), TraceFormat::kJsonl, &report);
+  EXPECT_EQ(CountOccurrences(doc, "\"kind\":\"arrival\""),
+            report.total_tasks);
+  EXPECT_EQ(CountOccurrences(doc, "\"kind\":\"completed\""),
+            report.completed_tasks);
+  EXPECT_EQ(CountOccurrences(doc, "\"kind\":\"placed\""),
+            report.completed_tasks);
+  // Placed events carry the placement phase and setup delays.
+  EXPECT_EQ(CountOccurrences(doc, "\"placement\":\""),
+            report.completed_tasks);
+  EXPECT_EQ(CountOccurrences(doc, "\"config_wait\":"),
+            report.completed_tasks);
+}
+
+TEST(RunTracerChrome, DocumentIsValidJsonWithExpectedTracks) {
+  core::MetricsReport report;
+  const std::string doc =
+      TraceRun(SmallConfig(300, 8), TraceFormat::kChrome, &report);
+  ASSERT_TRUE(testjson::IsValidJson(doc)) << testjson::Checker(doc).Error();
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"scheduler\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"node 0\""), std::string::npos);
+  // One execution span per completed task.
+  EXPECT_EQ(CountOccurrences(doc, "\"cat\": \"task\""),
+            report.completed_tasks);
+  // Arrivals land as instant events on the scheduler track.
+  EXPECT_EQ(CountOccurrences(doc, "\"ph\": \"i\"") > 0, true);
+  EXPECT_EQ(CountOccurrences(doc, "arrival task "), report.total_tasks);
+}
+
+TEST(RunTracerChrome, FaultRunEmitsDowntimeAndKilledSpans) {
+  core::SimulationConfig config = SmallConfig(300, 8, 5);
+  config.faults.script = {{400, NodeId{1}, core::FaultAction::kFail},
+                          {5000, NodeId{1}, core::FaultAction::kRepair}};
+  config.max_suspension_retries = 8;
+  core::MetricsReport report;
+  std::ostringstream out;
+  core::Simulator sim(std::move(config));
+  RunTracer::RunInfo info;
+  info.nodes = sim.store().node_count();
+  RunTracer tracer(out, TraceFormat::kChrome, info);
+  sim.SetEventLogger(
+      [&tracer](const core::SimEvent& e) { tracer.OnEvent(e); });
+  report = sim.Run();
+  tracer.Finish(sim.kernel().now());
+  const std::string doc = out.str();
+  ASSERT_TRUE(testjson::IsValidJson(doc)) << testjson::Checker(doc).Error();
+  ASSERT_GT(report.failures_injected, 0u);
+  EXPECT_EQ(CountOccurrences(doc, "\"name\": \"DOWN\""),
+            report.failures_injected);
+  if (report.tasks_killed > 0) {
+    EXPECT_EQ(CountOccurrences(doc, "\"cat\": \"task-killed\""),
+              report.tasks_killed);
+  }
+}
+
+TEST(RunTracerChrome, StillOpenSpansAreClosedAtFinish) {
+  // Feed a placement without a completion; Finish must clip the span.
+  std::ostringstream out;
+  RunTracer::RunInfo info;
+  info.nodes = 2;
+  RunTracer tracer(out, TraceFormat::kChrome, info);
+  core::SimEvent placed{core::SimEvent::Kind::kPlaced, 10, TaskId{0},
+                        NodeId{1}, ConfigId{3}};
+  placed.placement = sched::PlacementKind::kConfiguration;
+  placed.comm_time = 2;
+  placed.config_wait = 5;
+  tracer.OnEvent(placed);
+  core::SimEvent failed{core::SimEvent::Kind::kNodeFailed, 20,
+                        TaskId::invalid(), NodeId{0}, ConfigId::invalid()};
+  tracer.OnEvent(failed);
+  tracer.Finish(100);
+  const std::string doc = out.str();
+  ASSERT_TRUE(testjson::IsValidJson(doc)) << testjson::Checker(doc).Error();
+  EXPECT_EQ(CountOccurrences(doc, "\"cat\": \"task\""), 1u);
+  EXPECT_EQ(CountOccurrences(doc, "\"cat\": \"setup\""), 1u);
+  EXPECT_EQ(CountOccurrences(doc, "\"cat\": \"config\""), 1u);
+  EXPECT_EQ(CountOccurrences(doc, "\"name\": \"DOWN\""), 1u);
+  EXPECT_TRUE(tracer.finished());
+}
+
+TEST(RunTracerChrome, FinishIsIdempotent) {
+  std::ostringstream out;
+  RunTracer::RunInfo info;
+  info.nodes = 1;
+  RunTracer tracer(out, TraceFormat::kChrome, info);
+  tracer.Finish(50);
+  const std::string once = out.str();
+  tracer.Finish(80);
+  EXPECT_EQ(out.str(), once);
+  ASSERT_TRUE(testjson::IsValidJson(once));
+}
+
+TEST(RunTracer, FileConstructorThrowsOnUnwritablePath) {
+  EXPECT_THROW(RunTracer("/nonexistent-dir/trace.json", TraceFormat::kJsonl,
+                         RunTracer::RunInfo{}),
+               std::runtime_error);
+}
+
+TEST(RunTracer, PureObserverKeepsMetricsIdentical) {
+  core::MetricsReport traced;
+  (void)TraceRun(SmallConfig(250, 8, 17), TraceFormat::kChrome, &traced);
+  core::Simulator plain(SmallConfig(250, 8, 17));
+  const core::MetricsReport baseline = plain.Run();
+  EXPECT_EQ(traced.total_scheduler_workload,
+            baseline.total_scheduler_workload);
+  EXPECT_EQ(traced.total_simulation_time, baseline.total_simulation_time);
+  EXPECT_EQ(traced.avg_waiting_time_per_task,
+            baseline.avg_waiting_time_per_task);
+}
+
+}  // namespace
+}  // namespace dreamsim::obs

@@ -18,6 +18,9 @@
 #include "core/report.hpp"
 #include "core/simulator.hpp"
 #include "core/sweep.hpp"
+#include "obs/profiler.hpp"
+#include "obs/run_tracer.hpp"
+#include "obs/timeline.hpp"
 #include "rms/detail_report.hpp"
 #include "util/cli.hpp"
 #include "util/fmt.hpp"
@@ -116,7 +119,20 @@ void RegisterFlags(CliParser& cli) {
   cli.AddInt("replications", 1,
              "run N independent replications and report mean/ci95");
   cli.AddString("trace-in", "", "replay this workload trace instead of generating");
-  cli.AddString("trace-out", "", "save the generated workload as a trace");
+  cli.AddString("workload-trace-out", "",
+                "save the generated workload as a replayable trace");
+  cli.AddString("trace-out", "",
+                "(deprecated) alias for --workload-trace-out");
+  // Observability (DESIGN.md §11; all off by default, pure observers).
+  cli.AddString("run-trace", "",
+                "write a per-event run trace to this path (see --trace-format)");
+  cli.AddString("trace-format", "jsonl",
+                "run-trace format: jsonl|chrome (chrome://tracing JSON)");
+  cli.AddString("timeline-out", "",
+                "write an interval-sampled system-state time series (CSV)");
+  cli.AddInt("sample-interval", 100, "timeline sampling interval (ticks)");
+  cli.AddBool("profile", false,
+              "profile scheduler phases (host wall time; report on stdout)");
   // Modes of operation.
   cli.AddBool("compare", false, "run both reconfiguration modes side by side");
   cli.AddBool("sweep", false, "task-count sweep (Fig. 6-10 style)");
@@ -207,6 +223,42 @@ core::SimulationConfig BuildConfig(const CliParser& cli) {
   return config;
 }
 
+/// Resolves the workload-trace output path, honouring the deprecated
+/// --trace-out spelling (with a warning).
+std::string WorkloadTraceOut(const CliParser& cli) {
+  std::string path = cli.GetString("workload-trace-out");
+  if (path.empty() && cli.WasSet("trace-out")) {
+    path = cli.GetString("trace-out");
+    std::cerr << "warning: --trace-out is deprecated; use "
+                 "--workload-trace-out\n";
+  }
+  return path;
+}
+
+/// Under --compare each mode writes its own file: "runs.json" becomes
+/// "runs-full.json" / "runs-partial.json". Single runs keep the path as-is.
+std::string PerModePath(const std::string& path, std::string_view mode,
+                        bool multiple_modes) {
+  if (!multiple_modes) return path;
+  const auto dot = path.rfind('.');
+  const auto slash = path.find_last_of('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return Format("{}-{}", path, mode);
+  }
+  return Format("{}-{}{}", path.substr(0, dot), mode, path.substr(dot));
+}
+
+obs::TraceFormat RequireTraceFormat(const CliParser& cli) {
+  const std::string name = cli.GetString("trace-format");
+  const auto format = obs::ParseTraceFormat(name);
+  if (!format) {
+    throw std::invalid_argument(
+        Format("unknown trace format '{}' (want jsonl|chrome)", name));
+  }
+  return *format;
+}
+
 void MaybeWriteXml(const CliParser& cli, const core::MetricsReport& report) {
   const std::string prefix = cli.GetString("xml");
   if (prefix.empty()) return;
@@ -233,13 +285,19 @@ int RunSingleOrCompare(const CliParser& cli) {
               << "\n";
   }
 
+  const std::string trace_out = WorkloadTraceOut(cli);
+  const std::string run_trace = cli.GetString("run-trace");
+  const std::string timeline_out = cli.GetString("timeline-out");
+  const obs::TraceFormat trace_format = RequireTraceFormat(cli);
+  const bool profile = cli.GetBool("profile");
+  if (profile) obs::PhaseProfiler::SetEnabled(true);
+
   std::vector<core::MetricsReport> reports;
   for (const auto mode : modes) {
     core::SimulationConfig config = BuildConfig(cli);
     config.mode = mode;
     config.label = std::string(sched::ToString(mode));
 
-    const std::string trace_out = cli.GetString("trace-out");
     if (!trace && !trace_out.empty()) {
       // Generate once, save, then replay the saved workload so the file is
       // exactly what the simulation consumed.
@@ -253,9 +311,49 @@ int RunSingleOrCompare(const CliParser& cli) {
       std::cout << "wrote " << trace_out << "\n";
     }
 
+    const std::string mode_name(sched::ToString(mode));
     core::Simulator simulator(std::move(config));
+
+    // Observability taps (pure observers; paper metrics are unaffected).
+    std::unique_ptr<obs::RunTracer> tracer;
+    if (!run_trace.empty()) {
+      const std::string path =
+          PerModePath(run_trace, mode_name, modes.size() > 1);
+      obs::RunTracer::RunInfo info;
+      info.label = simulator.config().label;
+      info.mode = mode_name;
+      info.seed = simulator.config().seed;
+      info.nodes = simulator.store().node_count();
+      tracer = std::make_unique<obs::RunTracer>(path, trace_format,
+                                                std::move(info));
+      simulator.SetEventLogger(
+          [&tracer](const core::SimEvent& event) { tracer->OnEvent(event); });
+      std::cout << "tracing run to " << path << " ("
+                << obs::ToString(trace_format) << ")\n";
+    }
+    std::unique_ptr<obs::TimeSeriesSampler> sampler;
+    if (!timeline_out.empty()) {
+      const std::string path =
+          PerModePath(timeline_out, mode_name, modes.size() > 1);
+      sampler = std::make_unique<obs::TimeSeriesSampler>(
+          path, static_cast<Tick>(cli.GetInt("sample-interval")));
+      simulator.SetStateObserver(
+          [&sampler](const core::StateSample& sample) {
+            sampler->Observe(sample);
+          });
+      std::cout << "sampling timeline to " << path << "\n";
+    }
+    if (profile) obs::PhaseProfiler::Instance().Reset();
+
     reports.push_back(trace ? simulator.RunWithWorkload(*trace)
                             : simulator.Run());
+    const Tick end = simulator.kernel().now();
+    if (tracer) tracer->Finish(end);
+    if (sampler) sampler->Finish(end);
+    if (profile) {
+      std::cout << "\n[" << mode_name << "] "
+                << obs::PhaseProfiler::Instance().Report();
+    }
     MaybeWriteXml(cli, reports.back());
 
     const std::string node_csv = cli.GetString("node-csv");
@@ -288,7 +386,27 @@ int RunSingleOrCompare(const CliParser& cli) {
   return 0;
 }
 
+/// Per-run traces/timelines only exist for single and --compare runs;
+/// sweeps and replications run many simulators in parallel.
+void WarnUnsupportedObs(const CliParser& cli, std::string_view where) {
+  for (const std::string_view flag : {"run-trace", "timeline-out"}) {
+    if (!cli.GetString(flag).empty()) {
+      std::cerr << "warning: --" << flag << " is ignored under --" << where
+                << "\n";
+    }
+  }
+}
+
 int RunSweepMode(const CliParser& cli) {
+  WarnUnsupportedObs(cli, "sweep");
+  const bool profile = cli.GetBool("profile");
+  if (profile) {
+    // The profiler's counters are atomic, so parallel sweep workers can
+    // share it; the report then aggregates the whole sweep.
+    obs::PhaseProfiler::SetEnabled(true);
+    obs::PhaseProfiler::Instance().Reset();
+  }
+
   core::SweepParams params;
   params.base = BuildConfig(cli);
   params.base.enable_monitoring = false;
@@ -297,6 +415,9 @@ int RunSweepMode(const CliParser& cli) {
   params.threads = static_cast<unsigned>(cli.GetInt("threads"));
 
   const auto reports = core::RunSweep(params);
+  if (profile) {
+    std::cout << "\n[sweep] " << obs::PhaseProfiler::Instance().Report();
+  }
   std::cout << core::RenderComparisonTable(reports);
 
   const std::string csv_path = cli.GetString("csv");
@@ -327,6 +448,7 @@ int main(int argc, char** argv) {
 
   try {
     if (cli.GetInt("replications") > 1) {
+      WarnUnsupportedObs(cli, "replications");
       const auto replications =
           static_cast<std::size_t>(cli.GetInt("replications"));
       const core::ReplicationReport report = core::RunReplications(
