@@ -1,0 +1,68 @@
+// Seeded corruption for the auditor tests. Every mutation here is a bug by
+// construction; the point is that the StructureAuditor must say so.
+// lint: allow-file(store-internals)
+// lint: allow-file(list-internals)
+#include "analysis/corruptor.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "resource/store_index.hpp"
+#include "resource/sus_queue_index.hpp"
+
+namespace dreamsim::analysis {
+
+void StructureCorruptor::InjectOrphanIdleEntry(resource::ResourceStore& store,
+                                               ConfigId config,
+                                               resource::EntryRef entry) {
+  resource::EntryList& list = store.idle_lists_.at(config.value());
+  list.positions_.emplace(entry, list.cells_.size());
+  list.cells_.push_back(entry);
+}
+
+void StructureCorruptor::CorruptPositionMap(resource::ResourceStore& store,
+                                            ConfigId config) {
+  resource::EntryList& list = store.idle_lists_.at(config.value());
+  if (list.cells_.size() < 2) {
+    throw std::logic_error("CorruptPositionMap: need >= 2 idle entries");
+  }
+  std::swap(list.positions_.at(list.cells_[0]),
+            list.positions_.at(list.cells_[1]));
+}
+
+void StructureCorruptor::SkewIndexConfigCount(resource::ResourceStore& store,
+                                              NodeId node) {
+  if (store.index_ == nullptr) {
+    throw std::logic_error("SkewIndexConfigCount: index disabled");
+  }
+  // Global-view positions are dense node ids.
+  resource::PrefixSumTree& counts = store.index_->global_.config_count;
+  const std::size_t pos = node.value();
+  counts.Assign(pos, counts.Value(pos) + 1);
+}
+
+void StructureCorruptor::ExposeFailedNode(resource::ResourceStore& store,
+                                          NodeId node) {
+  store.nodes_.at(node.value()).failed_ = true;
+}
+
+void StructureCorruptor::MisplaceSusBucketEntry(
+    resource::SuspensionQueue& queue, TaskId task,
+    ConfigId wrong_config) {
+  if (queue.index_ == nullptr) {
+    throw std::logic_error("MisplaceSusBucketEntry: drain index disabled");
+  }
+  resource::SusQueueIndex& index = *queue.index_;
+  const auto& slot = index.slots_.at(task.value());
+  resource::SusQueueIndex::Bucket& home =
+      index.buckets_.at(slot.attrs.resolved_config.value());
+  home.by_seq.erase(slot.seq);
+  index.buckets_[wrong_config.value()].by_seq.insert(slot.seq);
+}
+
+void StructureCorruptor::OrphanEventAction(sim::EventQueue& queue) {
+  queue.actions_.emplace(queue.next_sequence_, [] {});
+  ++queue.next_sequence_;
+}
+
+}  // namespace dreamsim::analysis

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "analysis/audit_mode.hpp"
 #include "core/fault_model.hpp"
 #include "net/network.hpp"
 #include "resource/config.hpp"
@@ -105,6 +106,13 @@ struct SimulationConfig {
   /// Node failure/repair model: a seeded MTBF/MTTR process plus scripted
   /// events. Disabled by default — every paper figure is fault-free.
   FaultParams faults{};
+
+  // --- Correctness tooling (DESIGN.md §12) ---
+  /// Runs the StructureAuditor over every scheduler structure: never
+  /// (off, the default — a true no-op), once at end of run, or after
+  /// every scheduler decision (step; Debug-scale cost). A violation
+  /// aborts the run with the rendered report (std::logic_error).
+  analysis::AuditMode audit = analysis::AuditMode::kOff;
 
   // --- Metrics ---
   WasteAccounting waste_accounting = WasteAccounting::kOnSchedule;

@@ -154,6 +154,18 @@ MetricsReport Simulator::Run() {
   return RunWithWorkload(wl);
 }
 
+analysis::AuditReport Simulator::AuditStructures() const {
+  return analysis::StructureAuditor::AuditAll(store_, suspension_,
+                                              kernel_.queue(), kernel_.now());
+}
+
+void Simulator::AuditAt(const char* where) {
+  const analysis::AuditReport report = AuditStructures();
+  if (report.ok()) return;
+  throw std::logic_error(
+      Format("structure audit failed after {}: {}", where, report.Render()));
+}
+
 MetricsReport Simulator::RunWithWorkload(const workload::Workload& wl) {
   if (ran_) throw std::logic_error("Simulator instances are single-use");
   ran_ = true;
@@ -176,6 +188,7 @@ void Simulator::HandleArrival(TaskId id) {
     EnqueueSuspended(id);
   }
   ObserveState();
+  MaybeAudit("arrival");
 }
 
 void Simulator::ObserveState() {
@@ -322,6 +335,7 @@ void Simulator::HandleCompletion(TaskId id, resource::EntryRef entry) {
   NoteTerminal();
   DrainSuspensionQueue(entry.node, freed_config);
   ObserveState();
+  MaybeAudit("completion");
   if (completion_hook_) completion_hook_(id, kernel_.now());
 }
 
@@ -379,6 +393,7 @@ Simulator::DrainAttempt Simulator::AttemptQueuedAt(std::size_t index) {
   if (outcome == sched::Outcome::kPlaced ||
       outcome == sched::Outcome::kDiscard) {
     suspension_.RemoveAt(index, store_.meter());
+    MaybeAudit("queued-attempt");
     return {outcome == sched::Outcome::kPlaced, true};
   }
   // The prefilter was optimistic but the policy could not place the task
@@ -392,12 +407,14 @@ Simulator::DrainAttempt Simulator::AttemptQueuedAt(std::size_t index) {
     metrics_.OnDiscarded();
     Emit(SimEvent::Kind::kDiscarded, id);
     NoteTerminal();
+    MaybeAudit("queued-attempt");
     return {false, true};
   }
   // The attempt may have re-resolved the task's configuration while it
   // stays queued; keep the indexed attributes in sync (uncharged — the
   // reference scans re-read task state directly).
   suspension_.RefreshAttrs(id, SusAttrs(failed));
+  MaybeAudit("queued-attempt");
   return {false, false};
 }
 
@@ -573,6 +590,10 @@ void Simulator::DrainPartialFifo(const resource::Node& node,
 
 MetricsReport Simulator::FinishReport() {
   const Tick end = kernel_.now();
+  // End-of-run audit runs before the final queue sweep so it sees the
+  // structures exactly as the event loop left them (step mode audited
+  // every decision already; auditing once more here is cheap).
+  if (config_.audit != analysis::AuditMode::kOff) AuditAt("run");
   // Any task still suspended when the event queue drained can never run.
   while (!suspension_.empty()) {
     const auto id = suspension_.PopFirstMatching(
@@ -724,6 +745,7 @@ void Simulator::HandleNodeFailure(NodeId node_id) {
     EnqueueSuspended(id);
   }
   ObserveState();
+  MaybeAudit("node-failure");
 }
 
 void Simulator::HandleNodeRepair(NodeId node_id) {
@@ -738,6 +760,7 @@ void Simulator::HandleNodeRepair(NodeId node_id) {
   // The revived node is blank capacity: drain with no reusable config.
   DrainSuspensionQueue(node_id, ConfigId::invalid());
   ObserveState();
+  MaybeAudit("node-repair");
 }
 
 void Simulator::NoteTerminal() {

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/structure_auditor.hpp"
 #include "core/fault_model.hpp"
 #include "core/metrics.hpp"
 #include "core/sim_config.hpp"
@@ -147,6 +148,12 @@ class Simulator {
   };
   [[nodiscard]] CacheStats bitstream_cache_stats() const;
 
+  /// Runs the StructureAuditor over every live structure (resource store,
+  /// suspension queue, pending-event set). Pure read-only — it never
+  /// charges the WorkloadMeter or perturbs the run — so tests can call it
+  /// at any point regardless of the configured AuditMode.
+  [[nodiscard]] analysis::AuditReport AuditStructures() const;
+
  private:
   /// Ticks spent shipping the bitstream for a fresh configuration on
   /// `node` (0 on cache hit or when shipping is disabled).
@@ -200,6 +207,13 @@ class Simulator {
                                   ConfigId freed_config) const;
   [[nodiscard]] std::unique_ptr<sched::Policy> MakePolicy() const;
   [[nodiscard]] MetricsReport FinishReport();
+  /// Step-mode audit hook, called after every scheduler decision site.
+  /// Off-mode cost is one enum comparison (bench_audit gates it); a
+  /// violation throws std::logic_error with the rendered report.
+  void MaybeAudit(const char* where) {
+    if (config_.audit == analysis::AuditMode::kStep) AuditAt(where);
+  }
+  void AuditAt(const char* where);
 
   // --- Fault injection (DESIGN.md §10) ---
   /// Arms one node's next random failure/repair (kControl priority).

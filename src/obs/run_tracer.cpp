@@ -1,5 +1,6 @@
 #include "obs/run_tracer.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cstring>
 #include <ostream>
@@ -359,12 +360,26 @@ void RunTracer::ChromeOnEvent(const core::SimEvent& event) {
 }
 
 void RunTracer::WriteChromeDocument(Tick end) {
-  // Close anything still open at the end of the run.
-  for (const auto& [task, open] : open_tasks_) {
-    ChromeCloseTask(TaskId{task}, open, end, /*killed=*/false);
+  // Close anything still open at the end of the run. The open sets are
+  // hash maps; emit in sorted key order so the document bytes are a pure
+  // function of the run, not of the hash layout.
+  std::vector<std::uint32_t> open_ids;
+  open_ids.reserve(open_tasks_.size());
+  // lint: allow(unordered-writer-iteration) — keys sorted before emitting
+  for (const auto& kv : open_tasks_) open_ids.push_back(kv.first);
+  std::sort(open_ids.begin(), open_ids.end());
+  for (const std::uint32_t task : open_ids) {
+    ChromeCloseTask(TaskId{task}, open_tasks_.at(task), end,
+                    /*killed=*/false);
   }
   open_tasks_.clear();
-  for (const auto& [node, since] : down_since_) {
+  std::vector<std::uint32_t> down_ids;
+  down_ids.reserve(down_since_.size());
+  // lint: allow(unordered-writer-iteration) — keys sorted before emitting
+  for (const auto& kv : down_since_) down_ids.push_back(kv.first);
+  std::sort(down_ids.begin(), down_ids.end());
+  for (const std::uint32_t node : down_ids) {
+    const Tick since = down_since_.at(node);
     if (end > since) ChromeSpan("DOWN", "fault", node, since, end - since);
     if (node < node_seen_.size()) node_seen_[node] = true;
   }

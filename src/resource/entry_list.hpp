@@ -22,6 +22,11 @@
 #include "resource/workload_meter.hpp"
 #include "util/types.hpp"
 
+namespace dreamsim::analysis {
+class StructureAuditor;    // correctness tooling (src/analysis); read-only
+class StructureCorruptor;  // test-only seeded-corruption injector
+}  // namespace dreamsim::analysis
+
 namespace dreamsim::resource {
 
 /// Reference to one config-task-pair entry on one node.
@@ -102,6 +107,12 @@ class EntryList {
   [[nodiscard]] bool PositionsConsistent() const;
 
  private:
+  // The auditor reconstructs ground truth from the raw cells; the
+  // corruptor breaks them on purpose in tests. Neither is part of the
+  // mutation surface (dreamsim_lint enforces that for everything else).
+  friend class ::dreamsim::analysis::StructureAuditor;
+  friend class ::dreamsim::analysis::StructureCorruptor;
+
   std::vector<EntryRef> cells_;
   std::unordered_map<EntryRef, std::size_t, EntryRefHash> positions_;
 };

@@ -17,6 +17,10 @@
 #include "resource/fabric.hpp"
 #include "util/types.hpp"
 
+namespace dreamsim::analysis {
+class StructureCorruptor;  // test-only seeded-corruption injector
+}  // namespace dreamsim::analysis
+
 namespace dreamsim::resource {
 
 /// Stable index of a config-task-pair slot within one node. Slots are
@@ -175,6 +179,11 @@ class Node {
   }
 
  private:
+  // Test-only seeded corruption (src/analysis): flips failed_ behind the
+  // store's back so the auditor's fault-visibility checks can be proven
+  // non-vacuous. See resource/entry_list.hpp.
+  friend class ::dreamsim::analysis::StructureCorruptor;
+
   NodeId id_;
   Area total_area_;
   Area available_area_;

@@ -218,6 +218,11 @@ class ResourceStore {
   [[nodiscard]] std::vector<std::string> ValidateConsistency() const;
 
  private:
+  // Correctness tooling (src/analysis): read-only ground-truth diffing and
+  // test-only seeded corruption. See entry_list.hpp.
+  friend class ::dreamsim::analysis::StructureAuditor;
+  friend class ::dreamsim::analysis::StructureCorruptor;
+
   static constexpr std::size_t kNotBlank = static_cast<std::size_t>(-1);
 
   [[nodiscard]] EntryList& idle_list_mut(ConfigId config);

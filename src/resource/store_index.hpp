@@ -109,6 +109,11 @@ class StoreIndex {
       const std::vector<Area>& busy_area) const;
 
  private:
+  // Correctness tooling (src/analysis): read-only ground-truth diffing and
+  // test-only seeded corruption. See entry_list.hpp.
+  friend class ::dreamsim::analysis::StructureAuditor;
+  friend class ::dreamsim::analysis::StructureCorruptor;
+
   /// (area, node id): ordered first by key area, then by id — lower_bound
   /// on {area, 0} lands on the tightest fit with the smallest id.
   using AreaKey = std::pair<Area, std::uint32_t>;

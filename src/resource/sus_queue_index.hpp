@@ -50,6 +50,11 @@
 #include "resource/index_primitives.hpp"
 #include "util/types.hpp"
 
+namespace dreamsim::analysis {
+class StructureAuditor;    // correctness tooling (src/analysis); read-only
+class StructureCorruptor;  // test-only seeded-corruption injector
+}  // namespace dreamsim::analysis
+
 namespace dreamsim::resource {
 
 /// The drain-relevant attributes of one suspended task, captured at
@@ -81,6 +86,10 @@ class AreaTreap {
   [[nodiscard]] std::size_t size() const { return count_; }
 
  private:
+  // The auditor walks the treap to re-derive its in-order content and
+  // augmentation from first principles. See entry_list.hpp.
+  friend class ::dreamsim::analysis::StructureAuditor;
+
   static constexpr std::int32_t kNull = -1;
   struct Node {
     double neg_priority = 0.0;
@@ -160,6 +169,11 @@ class SusQueueIndex {
       const std::function<SusEntryAttrs(TaskId)>& attrs_of) const;
 
  private:
+  // Correctness tooling (src/analysis): read-only ground-truth diffing and
+  // test-only seeded corruption. See entry_list.hpp.
+  friend class ::dreamsim::analysis::StructureAuditor;
+  friend class ::dreamsim::analysis::StructureCorruptor;
+
   struct Slot {
     std::uint64_t seq = 0;
     SusEntryAttrs attrs;

@@ -14,6 +14,11 @@
 
 #include "util/types.hpp"
 
+namespace dreamsim::analysis {
+class StructureAuditor;    // correctness tooling (src/analysis); read-only
+class StructureCorruptor;  // test-only seeded-corruption injector
+}  // namespace dreamsim::analysis
+
 namespace dreamsim::sim {
 
 /// Coarse event classes; lower value runs first within a tick. Completions
@@ -67,6 +72,11 @@ class EventQueue {
   [[nodiscard]] std::uint64_t pushed_total() const { return next_sequence_ - 1; }
 
  private:
+  // Correctness tooling (src/analysis): read-only ground-truth diffing and
+  // test-only seeded corruption. See resource/entry_list.hpp.
+  friend class ::dreamsim::analysis::StructureAuditor;
+  friend class ::dreamsim::analysis::StructureCorruptor;
+
   struct Entry {
     Tick tick;
     EventPriority priority;

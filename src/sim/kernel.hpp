@@ -42,6 +42,8 @@ class Kernel {
   [[nodiscard]] Tick now() const { return clock_.now(); }
   [[nodiscard]] const Clock& clock() const { return clock_; }
   [[nodiscard]] Clock& clock() { return clock_; }
+  /// Read-only view of the pending-event set (structure audits).
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }

@@ -86,12 +86,19 @@ RunResult RunOne(const FaultCase& c, std::uint64_t seed, bool indexed) {
                             {2500, NodeId{5}, FaultAction::kFail}};
   }
   config.seed = seed;
+  // Structure audit rides along: every decision in Debug, end-of-run in
+  // Release (see test_simulator_fuzz.cpp).
+#ifndef NDEBUG
+  config.audit = analysis::AuditMode::kStep;
+#else
+  config.audit = analysis::AuditMode::kEnd;
+#endif
   Simulator sim(std::move(config));
   RunResult result;
   sim.SetEventLogger([&](const SimEvent& e) { result.events.push_back(e); });
-  result.report = sim.RunWithWorkload(MakeWorkload(seed));
   EXPECT_EQ(sim.store().indexed(), indexed);
   EXPECT_EQ(sim.suspension().drain_indexed(), indexed);
+  result.report = sim.RunWithWorkload(MakeWorkload(seed));
   const auto violations = sim.store().ValidateConsistency();
   EXPECT_TRUE(violations.empty())
       << "first violation: " << (violations.empty() ? "" : violations[0]);

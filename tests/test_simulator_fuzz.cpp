@@ -110,8 +110,22 @@ TEST_P(SimulatorFuzz, GlobalInvariantsHold) {
       break;
   }
 
+  // Structure audit across the whole grid: after every scheduler decision
+  // in Debug, once at end of run in Release (step-mode reconstruction over
+  // every decision would dominate optimized CI runs).
+#ifndef NDEBUG
+  config.audit = analysis::AuditMode::kStep;
+#else
+  config.audit = analysis::AuditMode::kEnd;
+#endif
+
   Simulator sim(std::move(config));
   const MetricsReport report = sim.Run();
+
+  // Explicit auditor hook on top of the config-driven audits: the end
+  // state must reconstruct cleanly, and the report must render empty.
+  const analysis::AuditReport audit = sim.AuditStructures();
+  EXPECT_TRUE(audit.ok()) << audit.Render();
 
   // Conservation: every generated task reached a terminal state.
   EXPECT_EQ(report.total_tasks, 400u);

@@ -297,6 +297,14 @@ RunResult RunOne(const SimCase& c, std::uint64_t seed, bool indexed) {
   config.priority_scheduling = c.priority;
   config.scheduler_index = indexed;
   config.seed = seed;
+  // Step-mode structure audit rides along in Debug (end-of-run in Release):
+  // the indexed and scan twins must both reconstruct cleanly at every
+  // decision, not just return identical answers.
+#ifndef NDEBUG
+  config.audit = analysis::AuditMode::kStep;
+#else
+  config.audit = analysis::AuditMode::kEnd;
+#endif
   Simulator sim(std::move(config));
   RunResult result;
   sim.SetEventLogger(

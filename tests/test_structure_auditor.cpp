@@ -1,0 +1,205 @@
+// StructureAuditor tests: the auditor must be green on healthy structures
+// and, for every seeded-corruption class the StructureCorruptor can
+// inject, report exactly the matching violation slug(s) — proving the
+// audit is neither vacuous nor trigger-happy (DESIGN.md §12).
+#include "analysis/structure_auditor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "analysis/corruptor.hpp"
+#include "resource/store.hpp"
+#include "resource/suspension_queue.hpp"
+#include "sim/event_queue.hpp"
+
+namespace dreamsim::analysis {
+namespace {
+
+using resource::ConfigCatalogue;
+using resource::Configuration;
+using resource::EntryRef;
+using resource::ResourceStore;
+using resource::SusEntryAttrs;
+using resource::SuspensionQueue;
+using resource::WorkloadMeter;
+
+ConfigCatalogue MakeCatalogue(std::initializer_list<Area> areas) {
+  ConfigCatalogue c;
+  std::uint32_t i = 0;
+  for (const Area a : areas) {
+    Configuration cfg;
+    cfg.required_area = a;
+    cfg.config_time = 10 + static_cast<Tick>(i++);
+    c.Add(cfg);
+  }
+  return c;
+}
+
+/// Distinct invariant slugs present in the report, in sorted order — the
+/// corruption tests assert this equals exactly the expected slug set.
+std::set<std::string> Slugs(const AuditReport& report) {
+  std::set<std::string> slugs;
+  for (const Violation& v : report.violations) slugs.insert(v.invariant);
+  return slugs;
+}
+
+/// A store with a little of everything: blank, idle, and busy nodes.
+ResourceStore MakePopulatedStore(bool indexed) {
+  ResourceStore store(MakeCatalogue({300, 500, 800}));
+  store.SetIndexed(indexed);
+  const NodeId a = store.AddNode(1000);
+  const NodeId b = store.AddNode(2000);
+  (void)store.AddNode(4000);  // stays blank
+  const EntryRef idle_a = store.Configure(a, ConfigId{0});
+  (void)idle_a;
+  const EntryRef busy_b = store.Configure(b, ConfigId{1});
+  store.AssignTask(busy_b, TaskId{7});
+  (void)store.Configure(b, ConfigId{0});  // second idle entry for config 0
+  return store;
+}
+
+// --- Clean structures audit clean -------------------------------------------
+
+TEST(StructureAuditorClean, FreshStore) {
+  ResourceStore store(MakeCatalogue({300, 500}));
+  const AuditReport report = StructureAuditor::AuditStore(store);
+  EXPECT_TRUE(report.ok()) << report.Render();
+  EXPECT_EQ(report.Render(), "structure audit: clean");
+}
+
+TEST(StructureAuditorClean, PopulatedStoreIndexedAndNot) {
+  for (const bool indexed : {false, true}) {
+    const ResourceStore store = MakePopulatedStore(indexed);
+    const AuditReport report = StructureAuditor::AuditStore(store);
+    EXPECT_TRUE(report.ok()) << "indexed=" << indexed << "\n"
+                             << report.Render();
+  }
+}
+
+TEST(StructureAuditorClean, PopulatedSuspensionQueue) {
+  for (const bool indexed : {false, true}) {
+    SuspensionQueue queue(/*capacity=*/8);
+    queue.SetDrainIndexed(indexed);
+    WorkloadMeter meter;
+    for (std::uint32_t t = 0; t < 5; ++t) {
+      SusEntryAttrs attrs;
+      attrs.resolved_config = ConfigId{t % 2};
+      attrs.needed_area = 100 + t;
+      attrs.priority = static_cast<double>(t);
+      ASSERT_TRUE(queue.Add(TaskId{t}, attrs, meter));
+    }
+    ASSERT_TRUE(queue.Remove(TaskId{2}, meter));
+    const AuditReport report = StructureAuditor::AuditSuspensionQueue(queue);
+    EXPECT_TRUE(report.ok()) << "indexed=" << indexed << "\n"
+                             << report.Render();
+  }
+}
+
+TEST(StructureAuditorClean, EventQueueWithCancellations) {
+  sim::EventQueue queue;
+  (void)queue.Push(10, sim::EventPriority::kArrival, [] {});
+  const sim::EventHandle h =
+      queue.Push(20, sim::EventPriority::kCompletion, [] {});
+  (void)queue.Push(20, sim::EventPriority::kControl, [] {});
+  ASSERT_TRUE(queue.Cancel(h));
+  const AuditReport report = StructureAuditor::AuditEventQueue(queue, 5);
+  EXPECT_TRUE(report.ok()) << report.Render();
+}
+
+// --- Each corruption class reports exactly its slug(s) ----------------------
+
+TEST(StructureAuditorCorruption, OrphanIdleEntryIsFig3IdleList) {
+  ResourceStore store = MakePopulatedStore(/*indexed=*/false);
+  // An entry whose slot does not exist on the (live, non-failed) node: the
+  // idle list claims a pair the node's slots cannot justify.
+  StructureCorruptor::InjectOrphanIdleEntry(store, ConfigId{0},
+                                            EntryRef{NodeId{2}, 9});
+  const AuditReport report = StructureAuditor::AuditStore(store);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(Slugs(report), std::set<std::string>{"fig3.idle-list"})
+      << report.Render();
+}
+
+TEST(StructureAuditorCorruption, SwappedPositionsAreFig3Positions) {
+  ResourceStore store = MakePopulatedStore(/*indexed=*/false);
+  // Config 0 has two idle entries (nodes a and b); swap their position-map
+  // slots. Membership is intact, so only the inverse-map check can see it.
+  StructureCorruptor::CorruptPositionMap(store, ConfigId{0});
+  const AuditReport report = StructureAuditor::AuditStore(store);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(Slugs(report), std::set<std::string>{"fig3.positions"})
+      << report.Render();
+  // Both displaced cells are reported.
+  EXPECT_EQ(report.violations.size(), 2u) << report.Render();
+}
+
+TEST(StructureAuditorCorruption, SkewedFenwickLeafIsIdxCount) {
+  ResourceStore store = MakePopulatedStore(/*indexed=*/true);
+  StructureCorruptor::SkewIndexConfigCount(store, NodeId{0});
+  const AuditReport report = StructureAuditor::AuditStore(store);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(Slugs(report), std::set<std::string>{"idx.count"})
+      << report.Render();
+}
+
+TEST(StructureAuditorCorruption, ExposedFailedNodeIsFaultVisibility) {
+  ResourceStore store = MakePopulatedStore(/*indexed=*/false);
+  // Node 2 is blank; raising its failed flag behind the store's back leaves
+  // it both in the blank list (visible to the scheduler) and outside the
+  // failed-node counter.
+  StructureCorruptor::ExposeFailedNode(store, NodeId{2});
+  const AuditReport report = StructureAuditor::AuditStore(store);
+  ASSERT_FALSE(report.ok());
+  const std::set<std::string> expected{"fault.visibility", "fault.count"};
+  EXPECT_EQ(Slugs(report), expected) << report.Render();
+}
+
+TEST(StructureAuditorCorruption, MisplacedBucketSeqIsSusidxBucket) {
+  SuspensionQueue queue(/*capacity=*/0);
+  queue.SetDrainIndexed(true);
+  WorkloadMeter meter;
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    SusEntryAttrs attrs;
+    attrs.resolved_config = ConfigId{t % 2};
+    attrs.needed_area = 100;
+    ASSERT_TRUE(queue.Add(TaskId{t}, attrs, meter));
+  }
+  // Task 1 resolved to config 1; move its seq into config 5's bucket.
+  StructureCorruptor::MisplaceSusBucketEntry(queue, TaskId{1}, ConfigId{5});
+  const AuditReport report = StructureAuditor::AuditSuspensionQueue(queue);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(Slugs(report), std::set<std::string>{"susidx.bucket"})
+      << report.Render();
+}
+
+TEST(StructureAuditorCorruption, OrphanActionIsEvqOrphanAction) {
+  sim::EventQueue queue;
+  (void)queue.Push(10, sim::EventPriority::kArrival, [] {});
+  StructureCorruptor::OrphanEventAction(queue);
+  const AuditReport report = StructureAuditor::AuditEventQueue(queue, 0);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(Slugs(report), std::set<std::string>{"evq.orphan-action"})
+      << report.Render();
+}
+
+// --- Report rendering (docs/formats.md "Auditor violation report") ----------
+
+TEST(StructureAuditorReport, RenderCapsLongReports) {
+  AuditReport report;
+  for (int i = 0; i < 12; ++i) {
+    report.violations.push_back(
+        {"fig3.idle-list", "config 0 idle pos 0", "detail"});
+  }
+  const std::string rendered = report.Render(/*max_lines=*/8);
+  EXPECT_NE(rendered.find("structure audit: 12 violation(s)"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("... 4 more"), std::string::npos);
+  // Exactly 8 violation lines plus the header and the cap line.
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 9);
+}
+
+}  // namespace
+}  // namespace dreamsim::analysis

@@ -13,6 +13,11 @@
 //      budgets, bounded-capacity overflow, and contiguous placement —
 //      identical event sequences and bit-identical MetricsReport fields
 //      across > 100 seeded differential run pairs.
+//
+// The twin fuzz calls the drain queries raw to compare them against the
+// brute-force rescan; meter agreement is asserted separately on the
+// counted operations, so the query sites themselves carry no charge.
+// lint: allow-file(uncharged-index-query)
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -330,6 +335,13 @@ RunResult RunOne(const SimCase& c, std::uint64_t seed, bool indexed) {
   config.suspension_capacity = c.capacity;
   config.drain_index = indexed;
   config.seed = seed;
+  // Structure audit rides along: every decision in Debug, end-of-run in
+  // Release (see test_simulator_fuzz.cpp).
+#ifndef NDEBUG
+  config.audit = analysis::AuditMode::kStep;
+#else
+  config.audit = analysis::AuditMode::kEnd;
+#endif
   Simulator sim(std::move(config));
   RunResult result;
   sim.SetEventLogger([&](const SimEvent& e) { result.events.push_back(e); });

@@ -1,4 +1,9 @@
 // Tests for the suspension queue (SusList).
+//
+// The drain queries are exercised raw against expected positions here —
+// the tests assert what the queries answer, not the modeled effort, which
+// the simulator-level differential suites pin down.
+// lint: allow-file(uncharged-index-query)
 #include "resource/suspension_queue.hpp"
 
 #include <gtest/gtest.h>

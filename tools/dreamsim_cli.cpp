@@ -111,6 +111,10 @@ void RegisterFlags(CliParser& cli) {
   cli.AddBool("drain-index", true,
               "O(log Q) indexed suspension-queue drain (identical decisions "
               "and metrics; off = literal counted scans)");
+  // Correctness tooling (DESIGN.md §12).
+  cli.AddString("audit", "off",
+                "structure-invariant audit: off|end (once at end of run)|"
+                "step (after every scheduler decision; slow)");
   cli.AddString("csv", "", "write run/sweep rows to this CSV file");
   cli.AddString("xml", "", "write XML report(s) with this path prefix");
   cli.AddString("node-csv", "", "write the per-node detail report here");
@@ -180,6 +184,12 @@ core::SimulationConfig BuildConfig(const CliParser& cli) {
   config.enable_monitoring = cli.GetBool("monitoring");
   config.scheduler_index = cli.GetBool("scheduler-index");
   config.drain_index = cli.GetBool("drain-index");
+  const auto audit = analysis::ParseAuditMode(cli.GetString("audit"));
+  if (!audit) {
+    throw std::invalid_argument(Format("unknown audit mode '{}' (want off|end|step)",
+                                       cli.GetString("audit")));
+  }
+  config.audit = *audit;
   config.seed = static_cast<std::uint64_t>(cli.GetInt("seed"));
 
   const std::string arrivals = cli.GetString("arrivals");
