@@ -1,0 +1,346 @@
+// Million-node scale-out benchmark for the sharded parallel simulation
+// kernel (DESIGN.md §13), emitted as machine-readable JSON so the perf
+// trajectory can be tracked across commits.
+//
+// Two layers:
+//   1. Shard sweep: end-to-end Simulator wall-clock on a saturating
+//      large-cluster workload, sequential scan kernel (shards=1) vs the
+//      sharded scan kernel at K in {2, 4, 8}, plus a cross-check that the
+//      paper-facing metrics (scheduling steps, scheduler workload,
+//      placements) are bit-identical at every K — the determinism contract.
+//   2. Trajectory: sharded-indexed runs at increasing scale toward the
+//      million-node / ten-million-task point (--big runs the full point;
+//      the default stops at 100k nodes so the bench stays minutes-scale).
+//
+// The scheduler-phase breakdown of the sequential and best sharded runs is
+// captured with the PhaseProfiler (host wall time; never the
+// WorkloadMeter).
+//
+// Output: BENCH_scale.json next to the executable (override with --out).
+// --quick shrinks the grid for CI smoke runs. Exit status 1 unless every
+// sharded run's metrics are bit-identical to sequential AND the best
+// K >= 4 speedup is >= 1.0 (the CI gate; multi-core runners should see the
+// fork-join win on top of the single-pass batching).
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/simulator.hpp"
+#include "obs/profiler.hpp"
+#include "util/cli.hpp"
+#include "util/fmt.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace dreamsim;
+using dreamsim::core::MetricsReport;
+using dreamsim::core::SimulationConfig;
+using dreamsim::core::Simulator;
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Fixed-point rendering (util::Format pads but has no precision specs).
+std::string Fixed(double value, int precision) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+/// A cluster saturated well past its concurrent capacity: arrivals every
+/// tick, execution times longer than the arrival span, and a bounded
+/// suspension queue. Decisions routinely fall through every scheduler
+/// phase, which is exactly the regime where the O(N) phase walks dominate.
+SimulationConfig ScaleConfig(int nodes, int tasks, std::size_t shards,
+                             bool indexed) {
+  SimulationConfig config;
+  config.nodes.count = nodes;
+  config.tasks.total_tasks = tasks;
+  config.tasks.min_interval = 1;
+  config.tasks.max_interval = 2;
+  config.tasks.min_required_time = 50000;
+  config.tasks.max_required_time = 100000;
+  config.suspension_capacity = 256;
+  config.max_suspension_retries = 6;
+  config.scheduler_index = indexed;
+  config.shards = shards;
+  config.enable_monitoring = false;
+  config.seed = 42;
+  return config;
+}
+
+struct ScaleRun {
+  double seconds = 0.0;
+  MetricsReport report;
+};
+
+ScaleRun RunScale(const SimulationConfig& config) {
+  Simulator sim(config);  // setup (node generation) outside the timer
+  ScaleRun run;
+  const auto start = Clock::now();
+  run.report = sim.Run();
+  run.seconds = SecondsSince(start);
+  return run;
+}
+
+/// The determinism contract, checked on the paper-facing aggregates.
+bool MetricsIdentical(const MetricsReport& a, const MetricsReport& b) {
+  bool same = a.scheduling_steps_total == b.scheduling_steps_total &&
+              a.housekeeping_steps_total == b.housekeeping_steps_total &&
+              a.total_scheduler_workload == b.total_scheduler_workload &&
+              a.completed_tasks == b.completed_tasks &&
+              a.discarded_tasks == b.discarded_tasks &&
+              a.suspended_ever == b.suspended_ever &&
+              a.total_reconfigurations == b.total_reconfigurations &&
+              a.total_simulation_time == b.total_simulation_time;
+  for (int k = 0; k < 5; ++k) {
+    same = same && a.placements_by_kind[k] == b.placements_by_kind[k];
+  }
+  return same;
+}
+
+/// Best-of-`reps` wall time, so one noisy run cannot flip the speedup
+/// gate. Also asserts repeated runs report identical metrics (determinism
+/// across invocations, not just across shard counts).
+ScaleRun RunBest(const SimulationConfig& config, int reps) {
+  ScaleRun best = RunScale(config);
+  for (int r = 1; r < reps; ++r) {
+    const ScaleRun again = RunScale(config);
+    if (!MetricsIdentical(best.report, again.report)) {
+      std::cerr << "error: repeated run diverged (nondeterministic kernel)\n";
+      std::exit(1);
+    }
+    if (again.seconds < best.seconds) best.seconds = again.seconds;
+  }
+  return best;
+}
+
+struct SweepRow {
+  std::size_t shards = 1;
+  double seconds = 0.0;
+  double speedup = 1.0;
+  bool metrics_identical = true;
+};
+
+struct TrajectoryRow {
+  int nodes = 0;
+  int tasks = 0;
+  std::size_t shards = 1;
+  double seconds = 0.0;
+  std::uint64_t completed = 0;
+  double tasks_per_second = 0.0;
+};
+
+struct PhaseRow {
+  std::string run;
+  std::string phase;
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+};
+
+std::vector<PhaseRow> CapturePhases(const std::string& run) {
+  std::vector<PhaseRow> rows;
+  const obs::PhaseProfiler& prof = obs::PhaseProfiler::Instance();
+  for (std::size_t i = 0; i < obs::kProfPhaseCount; ++i) {
+    const auto phase = static_cast<obs::ProfPhase>(i);
+    const auto stats = prof.stats(phase);
+    if (stats.calls == 0) continue;
+    rows.push_back(
+        {run, std::string(obs::ToString(phase)), stats.calls, stats.total_ns});
+  }
+  return rows;
+}
+
+/// Directory of argv[0] (with trailing separator), so the JSON lands next
+/// to the executable regardless of the caller's working directory.
+std::string ExecutableDir(const char* argv0) {
+  const std::string path(argv0 != nullptr ? argv0 : "");
+  const std::size_t slash = path.find_last_of("/\\");
+  return slash == std::string::npos ? std::string{} : path.substr(0, slash + 1);
+}
+
+[[nodiscard]] bool WriteJson(const std::string& path, bool quick, bool big,
+                             int sweep_nodes, int sweep_tasks,
+                             const std::vector<SweepRow>& sweep,
+                             const std::vector<TrajectoryRow>& trajectory,
+                             const std::vector<PhaseRow>& phases,
+                             bool identical, double gate_speedup) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"bench\": \"scale\",\n";
+  out << Format("  \"quick\": {},\n", quick ? "true" : "false");
+  out << Format("  \"big\": {},\n", big ? "true" : "false");
+  out << Format("  \"hardware_threads\": {},\n",
+                std::thread::hardware_concurrency());
+  out << Format("  \"sweep_nodes\": {},\n", sweep_nodes);
+  out << Format("  \"sweep_tasks\": {},\n", sweep_tasks);
+  out << "  \"shard_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& r = sweep[i];
+    out << Format(
+        "    {{\"shards\": {}, \"seconds\": {}, \"speedup\": {}, "
+        "\"metrics_identical\": {}}}{}\n",
+        r.shards, Fixed(r.seconds, 4), Fixed(r.speedup, 3),
+        r.metrics_identical ? "true" : "false",
+        i + 1 < sweep.size() ? "," : "");
+  }
+  out << "  ],\n";
+  out << "  \"trajectory\": [\n";
+  for (std::size_t i = 0; i < trajectory.size(); ++i) {
+    const TrajectoryRow& r = trajectory[i];
+    out << Format(
+        "    {{\"nodes\": {}, \"tasks\": {}, \"shards\": {}, \"indexed\": "
+        "true, \"seconds\": {}, \"completed_tasks\": {}, "
+        "\"tasks_per_second\": {}}}{}\n",
+        r.nodes, r.tasks, r.shards, Fixed(r.seconds, 4), r.completed,
+        Fixed(r.tasks_per_second, 1), i + 1 < trajectory.size() ? "," : "");
+  }
+  out << "  ],\n";
+  out << "  \"phases\": [\n";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseRow& r = phases[i];
+    out << Format(
+        "    {{\"run\": \"{}\", \"phase\": \"{}\", \"calls\": {}, "
+        "\"total_ns\": {}}}{}\n",
+        r.run, r.phase, r.calls, r.total_ns,
+        i + 1 < phases.size() ? "," : "");
+  }
+  out << "  ],\n";
+  out << Format(
+      "  \"gate\": {{\"metrics_identical\": {}, \"best_k4_speedup\": {}}}\n",
+      identical ? "true" : "false", Fixed(gate_speedup, 3));
+  out << "}\n";
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "Sharded-kernel scale-out benchmark; writes BENCH_scale.json");
+  cli.AddBool("quick", false, "CI smoke grid (20k-node sweep, short trajectory)");
+  cli.AddBool("big", false,
+              "run the 1M-node / 10M-task trajectory point (minutes-scale)");
+  cli.AddString("out", "", "output JSON path (default: next to the binary)");
+  if (!cli.Parse(argc, argv)) {
+    std::cerr << cli.error() << "\n";
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.HelpText();
+    return 0;
+  }
+  const bool quick = cli.GetBool("quick");
+  const bool big = cli.GetBool("big");
+  // The saturating scenario discards tasks by design; keep the per-discard
+  // warnings out of the bench output.
+  Log::SetLevel(LogLevel::kError);
+  std::string out_path = cli.GetString("out");
+  if (out_path.empty()) {
+    out_path = ExecutableDir(argv[0]) + "BENCH_scale.json";
+  }
+
+  // --- Layer 1: sequential-scan vs sharded-scan shard sweep --------------
+  const int sweep_nodes = quick ? 20000 : 100000;
+  const int sweep_tasks = quick ? 30000 : 150000;
+  obs::PhaseProfiler::SetEnabled(true);
+
+  std::cout << Format("shard sweep: {} nodes, {} tasks (scan kernel)\n",
+                      sweep_nodes, sweep_tasks);
+  const int reps = 2;  // best-of-2: one noisy run cannot flip the gate
+  obs::PhaseProfiler::Instance().Reset();
+  const ScaleRun seq =
+      RunBest(ScaleConfig(sweep_nodes, sweep_tasks, 1, false), reps);
+  std::vector<PhaseRow> phases = CapturePhases("scan-sequential");
+  std::vector<SweepRow> sweep;
+  sweep.push_back({1, seq.seconds, 1.0, true});
+  std::cout << Format("  shards=1  {}s\n", Fixed(seq.seconds, 3));
+
+  bool identical = true;
+  double gate_speedup = 0.0;
+  std::vector<PhaseRow> best_phases;
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    obs::PhaseProfiler::Instance().Reset();
+    const ScaleRun run =
+        RunBest(ScaleConfig(sweep_nodes, sweep_tasks, shards, false), reps);
+    SweepRow row;
+    row.shards = shards;
+    row.seconds = run.seconds;
+    row.speedup = run.seconds > 0.0 ? seq.seconds / run.seconds : 0.0;
+    row.metrics_identical = MetricsIdentical(seq.report, run.report);
+    identical = identical && row.metrics_identical;
+    if (shards >= 4 && row.speedup > gate_speedup) {
+      gate_speedup = row.speedup;
+      best_phases = CapturePhases(Format("scan-sharded-k{}", shards));
+    }
+    std::cout << Format("  shards={}  {}s  speedup {}x  metrics identical: {}\n",
+                        shards, Fixed(run.seconds, 3), Fixed(row.speedup, 2),
+                        row.metrics_identical ? "yes" : "NO");
+    sweep.push_back(row);
+  }
+  phases.insert(phases.end(), best_phases.begin(), best_phases.end());
+
+  // --- Layer 2: sharded-indexed trajectory toward 1M nodes / 10M tasks ---
+  struct Point {
+    int nodes;
+    int tasks;
+  };
+  std::vector<Point> points;
+  if (quick) {
+    points = {{10000, 15000}};
+  } else {
+    points = {{10000, 30000}, {100000, 150000}};
+  }
+  if (big) points.push_back({1000000, 10000000});
+
+  std::cout << "\ntrajectory (sharded-indexed kernel, K=8)\n";
+  std::vector<TrajectoryRow> trajectory;
+  for (const Point& p : points) {
+    SimulationConfig config = ScaleConfig(p.nodes, p.tasks, 8, true);
+    if (p.tasks >= 1000000) {
+      // The million-node point needs completions to free capacity, or the
+      // bounded queue discards the bulk of the workload.
+      config.tasks.min_required_time = 2000;
+      config.tasks.max_required_time = 20000;
+    }
+    const ScaleRun run = RunScale(config);
+    TrajectoryRow row;
+    row.nodes = p.nodes;
+    row.tasks = p.tasks;
+    row.shards = 8;
+    row.seconds = run.seconds;
+    row.completed = run.report.completed_tasks;
+    row.tasks_per_second =
+        run.seconds > 0.0 ? static_cast<double>(p.tasks) / run.seconds : 0.0;
+    std::cout << Format("  {} nodes, {} tasks: {}s ({} tasks/s)\n", p.nodes,
+                        p.tasks, Fixed(run.seconds, 3),
+                        Fixed(row.tasks_per_second, 0));
+    trajectory.push_back(row);
+  }
+
+  if (!WriteJson(out_path, quick, big, sweep_nodes, sweep_tasks, sweep,
+                 trajectory, phases, identical, gate_speedup)) {
+    std::cerr << "error: could not write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << out_path << "\n";
+  const bool gate_ok = identical && gate_speedup >= 1.0;
+  if (!gate_ok) {
+    std::cerr << Format(
+        "gate FAILED: metrics_identical={} best_k4_speedup={}\n",
+        identical ? "true" : "false", Fixed(gate_speedup, 3));
+  }
+  return gate_ok ? 0 : 1;
+}

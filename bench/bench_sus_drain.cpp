@@ -18,7 +18,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <fstream>
 #include <functional>
 #include <iomanip>
@@ -90,7 +89,7 @@ bool Eligible(const SusEntryAttrs& a, Area bound, ConfigId match) {
 // --- Literal reference walks (what the scan-mode drain executes) ---------
 
 std::optional<std::size_t> ScanExactMatch(
-    const std::deque<TaskId>& queue, const std::vector<SusEntryAttrs>& attrs,
+    const std::vector<TaskId>& queue, const std::vector<SusEntryAttrs>& attrs,
     ConfigId config, bool by_priority, WorkloadMeter& meter) {
   std::optional<std::size_t> best;
   double best_priority = 0.0;
@@ -107,7 +106,7 @@ std::optional<std::size_t> ScanExactMatch(
 }
 
 std::optional<std::size_t> ScanOldestEligible(
-    const std::deque<TaskId>& queue, const std::vector<SusEntryAttrs>& attrs,
+    const std::vector<TaskId>& queue, const std::vector<SusEntryAttrs>& attrs,
     Area bound, ConfigId match, WorkloadMeter& meter) {
   for (std::size_t i = 0; i < queue.size(); ++i) {
     meter.Add(StepKind::kSchedulingSearch);
@@ -117,7 +116,7 @@ std::optional<std::size_t> ScanOldestEligible(
 }
 
 std::optional<std::size_t> ScanBestPriorityEligible(
-    const std::deque<TaskId>& queue, const std::vector<SusEntryAttrs>& attrs,
+    const std::vector<TaskId>& queue, const std::vector<SusEntryAttrs>& attrs,
     Area bound, ConfigId match, WorkloadMeter& meter) {
   std::optional<std::size_t> best;
   double best_priority = 0.0;

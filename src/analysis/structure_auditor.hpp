@@ -64,7 +64,8 @@ struct AuditReport {
 class StructureAuditor {
  public:
   /// Audits the Fig. 3 lists, the blank list, the Eq. 4 area accounting,
-  /// the fault-visibility rules, and (when enabled) the StoreIndex mirror.
+  /// the fault-visibility rules, and (when enabled) the StoreIndex mirror
+  /// and the sharded kernel's partition + per-shard indexes.
   [[nodiscard]] static AuditReport AuditStore(
       const resource::ResourceStore& store);
 
@@ -95,6 +96,8 @@ class StructureAuditor {
                                    AuditReport& report);
   static void AuditStoreIndex(const resource::ResourceStore& store,
                               AuditReport& report);
+  static void AuditShards(const resource::ResourceStore& store,
+                          AuditReport& report);
   static void AuditSusIndex(const resource::SuspensionQueue& queue,
                             AuditReport& report);
 };

@@ -94,9 +94,24 @@ Simulator::Simulator(SimulationConfig config)
       jobs_(kernel_, tasks_),
       faults_(config_.faults, DeriveSeed(config_.seed, kStreamFaults)) {
   store_.SetIndexed(config_.scheduler_index);
+  store_.SetShards(config_.shards, config_.kernel_threads, config_.shard_by);
   suspension_.SetDrainIndexed(config_.drain_index);
   Rng resource_rng(DeriveSeed(config_.seed, kStreamResources) ^ 0x5bd1e995u);
   store_.InitNodes(config_.nodes, resource_rng);
+  // Pre-reserve the hot-path containers from the configured problem size so
+  // the steady state never reallocates: every task contributes one arrival
+  // and at most one completion to the event heap (plus a bounded number of
+  // control events), and the suspension FIFO never outgrows its capacity or
+  // the task population.
+  if (config_.tasks.total_tasks > 0) {
+    const auto tasks = static_cast<std::size_t>(config_.tasks.total_tasks);
+    kernel_.ReserveEvents(std::min<std::size_t>(2 * tasks + 64, 1u << 22));
+    const std::size_t fifo_bound =
+        config_.suspension_capacity > 0
+            ? std::min(config_.suspension_capacity, tasks)
+            : tasks;
+    suspension_.Reserve(std::min<std::size_t>(fifo_bound, 1u << 20));
+  }
   if (faults_.enabled()) {
     fault_process_events_.resize(store_.node_count());
     failed_since_.assign(store_.node_count(), kNoTick);

@@ -160,6 +160,10 @@ class Node {
   [[nodiscard]] SlotIndex slot_bound() const {
     return static_cast<SlotIndex>(slots_.size());
   }
+
+  /// Pre-reserves slot-list capacity (hint only; slots still grow on
+  /// demand past it).
+  void ReserveSlots(std::size_t expected) { slots_.reserve(expected); }
   [[nodiscard]] bool SlotLive(SlotIndex slot) const {
     return slot < slots_.size() && slots_[slot].has_value();
   }

@@ -1,0 +1,460 @@
+#include "resource/shard_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "util/fmt.hpp"
+
+namespace dreamsim::resource {
+
+namespace {
+
+/// Mirror of ResourceStore::kNotBlank: the blank-position sentinel for
+/// nodes outside the blank list (non-blank or failed).
+constexpr std::size_t kNotBlank = static_cast<std::size_t>(-1);
+
+/// Below this many idle-list cells a fork-join costs more than the scan.
+/// Size-based only, so the serial/parallel split is deterministic.
+constexpr std::size_t kParallelIdleScanMin = 2048;
+
+/// Family compatibility: a valid required family must match the node's.
+bool FamilyOk(FamilyId required, const Node& n) {
+  return !required.valid() || required == n.family();
+}
+
+}  // namespace
+
+ShardEngine::ShardEngine(const ConfigCatalogue& configs, std::size_t shards,
+                         std::size_t threads, ShardBy by)
+    : configs_(&configs), by_(by) {
+  if (shards < 2) {
+    throw std::invalid_argument("ShardEngine: shard count must be >= 2");
+  }
+  members_.resize(shards);
+  indexes_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    indexes_.push_back(std::make_unique<StoreIndex>(configs, /*sparse=*/true));
+  }
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  pool_ = std::make_unique<sim::ShardPool>(
+      threads == 0 ? std::min(shards, hw) : threads);
+}
+
+ShardEngine::~ShardEngine() = default;
+
+void ShardEngine::Bind(const ConfigCatalogue& configs,
+                       const std::vector<Node>& nodes,
+                       const std::vector<NodeId>& blank,
+                       const std::vector<std::size_t>& blank_pos,
+                       const std::vector<Area>& busy_area) {
+  configs_ = &configs;
+  nodes_ = &nodes;
+  blank_ = &blank;
+  blank_pos_view_ = &blank_pos;
+  busy_area_view_ = &busy_area;
+  for (auto& index : indexes_) index->RebindCatalogue(configs);
+}
+
+std::uint32_t ShardEngine::ShardOf(const Node& node) const {
+  const auto shards = static_cast<std::uint32_t>(members_.size());
+  if (by_ == ShardBy::kFamily) return node.family().value() % shards;
+  return node.id().value() % shards;
+}
+
+void ShardEngine::AddNode(const Node& node, Area busy_area) {
+  const std::uint32_t id = node.id().value();
+  if (id != shard_of_.size()) {
+    throw std::logic_error("ShardEngine::AddNode: node ids must be dense");
+  }
+  const std::uint32_t shard = ShardOf(node);
+  shard_of_.push_back(shard);
+  members_[shard].push_back(id);
+  indexes_[shard]->AddNode(node, busy_area);
+  ++epoch_;
+}
+
+void ShardEngine::Refresh(const Node& node, Area busy_area) {
+  indexes_[shard_of_[node.id().value()]]->Refresh(node, busy_area);
+  ++epoch_;
+}
+
+void ShardEngine::SetIndexed(bool enabled) {
+  indexed_ = enabled;
+  bundle_.keyed = false;
+}
+
+void ShardEngine::PrefetchDecision(Area needed_area, FamilyId family) {
+  EnsureBundle(needed_area, family, QueryGroup::kBlank);
+}
+
+std::optional<ReconfigPlan> ShardEngine::ReplayReclaim(
+    const Node& node, Area needed_area) const {
+  // Mirrors the Algorithm 1 inner loop exactly: accumulate idle-entry
+  // areas in slot order; the plan is the minimal prefix reaching the
+  // target, gated by the contiguous-placement hole check.
+  Area accumulated = node.available_area();
+  std::vector<SlotIndex> removable;
+  std::optional<ReconfigPlan> plan;
+  node.ForEachSlot([&](SlotIndex slot, const ConfigTaskPair& pair) {
+    if (plan || !pair.idle()) return;
+    accumulated += configs_->Get(pair.config).required_area;
+    removable.push_back(slot);
+    if (accumulated < needed_area) return;
+    if (node.contiguous() &&
+        !node.CanHostAfterReclaiming(removable, needed_area)) {
+      return;
+    }
+    plan = ReconfigPlan{node.id(), removable};
+  });
+  return plan;
+}
+
+void ShardEngine::ComputeScan(std::size_t shard, Area needed_area,
+                              FamilyId family, QueryGroup group,
+                              ShardAnswer& a) const {
+  const std::vector<Node>& nodes = *nodes_;
+  const std::vector<std::size_t>& blank_pos = *blank_pos_view_;
+  for (const std::uint32_t id : members_[shard]) {
+    const Node& n = nodes[id];
+    if (!FamilyOk(family, n)) continue;
+    if (group == QueryGroup::kBlank) {
+      // Blank-list candidate: membership implies blank and not failed. The
+      // reference scans the blank list in list order, so ties on the
+      // minimal TotalArea fall to the smallest blank-list position.
+      if (blank_pos[id] != kNotBlank && n.total_area() >= needed_area) {
+        if (!a.blank || n.total_area() < a.blank_total ||
+            (n.total_area() == a.blank_total &&
+             blank_pos[id] < a.blank_list_pos)) {
+          a.blank = n.id();
+          a.blank_total = n.total_area();
+          a.blank_list_pos = blank_pos[id];
+        }
+      }
+      continue;
+    }
+    // Members ascend in id, so every strict `<`/`>` keeps the smallest id
+    // among ties — the reference scans' winner.
+    const bool can_host = n.CanHost(needed_area);
+    if (group == QueryGroup::kRanked) {
+      if (can_host) {
+        if (!a.first_fit) a.first_fit = n.id();
+        if (!a.best_fit || n.available_area() < a.best_fit_avail) {
+          a.best_fit = n.id();
+          a.best_fit_avail = n.available_area();
+        }
+        if (!a.worst_fit || n.available_area() > a.worst_fit_avail) {
+          a.worst_fit = n.id();
+          a.worst_fit_avail = n.available_area();
+        }
+      }
+      continue;
+    }
+    // QueryGroup::kRest: the four deep-phase scans in one combined pass.
+    if (!n.blank() && can_host &&
+        (!a.partial || n.available_area() < a.partial_avail)) {
+      a.partial = n.id();
+      a.partial_avail = n.available_area();
+    }
+    if (!n.blank() && !n.busy() && n.total_area() >= needed_area &&
+        (!a.idle_cfg || n.total_area() < a.idle_cfg_total)) {
+      a.idle_cfg = n.id();
+      a.idle_cfg_total = n.total_area();
+    }
+    if (!a.busy_fit && n.busy() && n.total_area() >= needed_area) {
+      a.busy_fit = n.id();
+    }
+    if (!a.any_idle) {
+      if (can_host) {
+        a.any_idle = ReconfigPlan{n.id(), {}};
+      } else if (auto plan = ReplayReclaim(n, needed_area)) {
+        a.any_idle = std::move(plan);
+      }
+    }
+  }
+}
+
+void ShardEngine::ComputeIndexed(std::size_t shard, Area needed_area,
+                                 FamilyId family, QueryGroup group,
+                                 ShardAnswer& a) const {
+  const StoreIndex& index = *indexes_[shard];
+  const std::vector<Node>& nodes = *nodes_;
+  switch (group) {
+    case QueryGroup::kBlank:
+      if (const auto id =
+              index.BestBlank(needed_area, family, *blank_pos_view_)) {
+        a.blank = id;
+        a.blank_total = nodes[id->value()].total_area();
+        a.blank_list_pos = (*blank_pos_view_)[id->value()];
+      }
+      break;
+    case QueryGroup::kRest:
+      if (const auto id =
+              index.BestPartiallyBlank(needed_area, family, nodes)) {
+        a.partial = id;
+        a.partial_avail = nodes[id->value()].available_area();
+      }
+      if (const auto id = index.BestIdleConfigured(needed_area, family)) {
+        a.idle_cfg = id;
+        a.idle_cfg_total = nodes[id->value()].total_area();
+      }
+      a.busy_fit = index.AnyBusyFitNode(needed_area, family);
+      a.any_idle = index.FindAnyIdleCandidate(needed_area, family, nodes);
+      break;
+    case QueryGroup::kRanked:
+      a.first_fit =
+          index.RankedHost(needed_area, HostRank::kFirstFit, family, nodes);
+      if (const auto id = index.RankedHost(needed_area, HostRank::kBestFit,
+                                           family, nodes)) {
+        a.best_fit = id;
+        a.best_fit_avail = nodes[id->value()].available_area();
+      }
+      if (const auto id = index.RankedHost(needed_area, HostRank::kWorstFit,
+                                           family, nodes)) {
+        a.worst_fit = id;
+        a.worst_fit_avail = nodes[id->value()].available_area();
+      }
+      break;
+  }
+}
+
+void ShardEngine::EnsureBundle(Area needed_area, FamilyId family,
+                               QueryGroup group) {
+  if (!bundle_.keyed || bundle_.epoch != epoch_ ||
+      bundle_.area != needed_area || bundle_.family_raw != family.value()) {
+    bundle_.answers.assign(members_.size(), ShardAnswer{});
+    for (bool& have : bundle_.have) have = false;
+    bundle_.keyed = true;
+    bundle_.epoch = epoch_;
+    bundle_.area = needed_area;
+    bundle_.family_raw = family.value();
+  }
+  const auto g = static_cast<std::size_t>(group);
+  if (bundle_.have[g]) return;
+  if (indexed_) {
+    // O(log N) per shard: a thread broadcast would cost more than it saves.
+    for (std::size_t s = 0; s < members_.size(); ++s) {
+      ComputeIndexed(s, needed_area, family, group, bundle_.answers[s]);
+    }
+  } else {
+    pool_->Run(members_.size(), [&](std::size_t s) {
+      ComputeScan(s, needed_area, family, group, bundle_.answers[s]);
+    });
+  }
+  bundle_.have[g] = true;
+}
+
+// Every merge below reduces bundle_.answers in fixed shard order 0..K-1 on
+// keys of (area, node id) — global properties of the winning node — so the
+// result cannot depend on shard count, shard assignment, or thread timing.
+
+std::optional<NodeId> ShardEngine::BestBlank(Area needed_area,
+                                             FamilyId family) {
+  EnsureBundle(needed_area, family, QueryGroup::kBlank);
+  std::optional<NodeId> best;
+  Area best_total = 0;
+  std::size_t best_pos = 0;
+  for (const ShardAnswer& a : bundle_.answers) {
+    if (!a.blank) continue;
+    if (!best || a.blank_total < best_total ||
+        (a.blank_total == best_total && a.blank_list_pos < best_pos)) {
+      best = a.blank;
+      best_total = a.blank_total;
+      best_pos = a.blank_list_pos;
+    }
+  }
+  return best;
+}
+
+std::optional<NodeId> ShardEngine::BestPartiallyBlank(Area needed_area,
+                                                      FamilyId family) {
+  EnsureBundle(needed_area, family, QueryGroup::kRest);
+  std::optional<NodeId> best;
+  Area best_avail = 0;
+  for (const ShardAnswer& a : bundle_.answers) {
+    if (!a.partial) continue;
+    if (!best || a.partial_avail < best_avail ||
+        (a.partial_avail == best_avail && a.partial->value() < best->value())) {
+      best = a.partial;
+      best_avail = a.partial_avail;
+    }
+  }
+  return best;
+}
+
+std::optional<NodeId> ShardEngine::BestIdleConfigured(Area needed_area,
+                                                      FamilyId family) {
+  EnsureBundle(needed_area, family, QueryGroup::kRest);
+  std::optional<NodeId> best;
+  Area best_total = 0;
+  for (const ShardAnswer& a : bundle_.answers) {
+    if (!a.idle_cfg) continue;
+    if (!best || a.idle_cfg_total < best_total ||
+        (a.idle_cfg_total == best_total &&
+         a.idle_cfg->value() < best->value())) {
+      best = a.idle_cfg;
+      best_total = a.idle_cfg_total;
+    }
+  }
+  return best;
+}
+
+std::optional<NodeId> ShardEngine::AnyBusyFitNode(Area needed_area,
+                                                  FamilyId family) {
+  EnsureBundle(needed_area, family, QueryGroup::kRest);
+  std::optional<NodeId> best;
+  for (const ShardAnswer& a : bundle_.answers) {
+    if (!a.busy_fit) continue;
+    if (!best || a.busy_fit->value() < best->value()) best = a.busy_fit;
+  }
+  return best;
+}
+
+std::optional<ReconfigPlan> ShardEngine::FindAnyIdle(Area needed_area,
+                                                     FamilyId family) {
+  EnsureBundle(needed_area, family, QueryGroup::kRest);
+  const ReconfigPlan* best = nullptr;
+  for (const ShardAnswer& a : bundle_.answers) {
+    if (!a.any_idle) continue;
+    if (best == nullptr || a.any_idle->node.value() < best->node.value()) {
+      best = &*a.any_idle;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::optional<NodeId> ShardEngine::RankedHost(Area needed_area, HostRank rank,
+                                              FamilyId family) {
+  EnsureBundle(needed_area, family, QueryGroup::kRanked);
+  std::optional<NodeId> best;
+  Area best_avail = 0;
+  for (const ShardAnswer& a : bundle_.answers) {
+    switch (rank) {
+      case HostRank::kFirstFit:
+        if (a.first_fit &&
+            (!best || a.first_fit->value() < best->value())) {
+          best = a.first_fit;
+        }
+        break;
+      case HostRank::kBestFit:
+        if (a.best_fit &&
+            (!best || a.best_fit_avail < best_avail ||
+             (a.best_fit_avail == best_avail &&
+              a.best_fit->value() < best->value()))) {
+          best = a.best_fit;
+          best_avail = a.best_fit_avail;
+        }
+        break;
+      case HostRank::kWorstFit:
+        if (a.worst_fit &&
+            (!best || a.worst_fit_avail > best_avail ||
+             (a.worst_fit_avail == best_avail &&
+              a.worst_fit->value() < best->value()))) {
+          best = a.worst_fit;
+          best_avail = a.worst_fit_avail;
+        }
+        break;
+    }
+  }
+  return best;
+}
+
+std::optional<EntryRef> ShardEngine::BestIdleEntry(
+    const std::vector<EntryRef>& cells) const {
+  if (cells.empty()) return std::nullopt;
+  const std::vector<Node>& nodes = *nodes_;
+  struct Best {
+    bool any = false;
+    Area avail = 0;
+    std::size_t pos = 0;
+  };
+  const std::size_t chunks = members_.size();
+  if (cells.size() < kParallelIdleScanMin || chunks < 2) {
+    Best b;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Area avail = nodes[cells[i].node.value()].available_area();
+      if (!b.any || avail < b.avail) b = {true, avail, i};
+    }
+    return cells[b.pos];
+  }
+  std::vector<Best> bests(chunks);
+  pool_->Run(chunks, [&](std::size_t c) {
+    const std::size_t lo = cells.size() * c / chunks;
+    const std::size_t hi = cells.size() * (c + 1) / chunks;
+    Best b;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Area avail = nodes[cells[i].node.value()].available_area();
+      if (!b.any || avail < b.avail) b = {true, avail, i};
+    }
+    bests[c] = b;
+  });
+  // Chunk c+1 holds strictly later positions than chunk c, so a fixed
+  // chunk-order reduce with strict `<` keeps the earliest position among
+  // ties — the FindMin winner.
+  Best win;
+  for (const Best& b : bests) {
+    if (b.any && (!win.any || b.avail < win.avail)) win = b;
+  }
+  return cells[win.pos];
+}
+
+Steps ShardEngine::LiveSlotPrefixBefore(FamilyId family,
+                                        std::uint32_t bound_id) const {
+  Steps total = 0;
+  for (const auto& index : indexes_) {
+    total += index->LiveSlotPrefixBefore(family, bound_id);
+  }
+  return total;
+}
+
+Steps ShardEngine::LiveSlotTotal(FamilyId family) const {
+  Steps total = 0;
+  for (const auto& index : indexes_) total += index->LiveSlotTotal(family);
+  return total;
+}
+
+std::vector<std::string> ShardEngine::Validate() const {
+  std::vector<std::string> violations;
+  if (shard_of_.size() != nodes_->size()) {
+    violations.push_back(Format("shard map tracks {} nodes, store has {}",
+                                shard_of_.size(), nodes_->size()));
+    return violations;
+  }
+  std::vector<std::uint32_t> owner_count(shard_of_.size(), 0);
+  for (std::size_t s = 0; s < members_.size(); ++s) {
+    const std::vector<std::uint32_t>& ids = members_[s];
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i > 0 && ids[i - 1] >= ids[i]) {
+        violations.push_back(
+            Format("shard {}: member ids not strictly ascending", s));
+      }
+      if (ids[i] >= shard_of_.size()) {
+        violations.push_back(
+            Format("shard {}: member {} outside store", s, ids[i]));
+        continue;
+      }
+      ++owner_count[ids[i]];
+      if (shard_of_[ids[i]] != s) {
+        violations.push_back(Format(
+            "node {}: shard map says {} but listed in shard {}", ids[i],
+            shard_of_[ids[i]], s));
+      }
+    }
+  }
+  for (std::size_t id = 0; id < owner_count.size(); ++id) {
+    if (owner_count[id] != 1) {
+      violations.push_back(Format("node {}: appears in {} shards (want 1)",
+                                  id, owner_count[id]));
+    }
+  }
+  for (std::size_t s = 0; s < indexes_.size(); ++s) {
+    for (const std::string& v : indexes_[s]->Validate(*nodes_, *busy_area_view_)) {
+      violations.push_back(Format("shard {} index: {}", s, v));
+    }
+  }
+  return violations;
+}
+
+}  // namespace dreamsim::resource

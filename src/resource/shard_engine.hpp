@@ -1,0 +1,199 @@
+// Sharded parallel answer engine for the ResourceStore scheduler queries
+// (DESIGN.md §13).
+//
+// The node population is partitioned into K shards by a pure function of
+// (node id, family) — never insertion order or thread ids — and each shard
+// owns a sparse StoreIndex over its members. A scheduler decision is
+// answered in two steps:
+//   1. every shard independently computes its local best candidate for each
+//      of the hot node-selection queries (in parallel on a persistent
+//      ShardPool when the store runs scan mode; serially from the
+//      shard-local indexes when the scheduler index is on, where per-shard
+//      work is O(log N) and a thread broadcast would cost more than it
+//      saves);
+//   2. a deterministic merge reduces the per-shard answers in fixed shard
+//      order 0..K-1 on keys of (area, node id) — bit-identical to the
+//      winner the sequential scan would have picked.
+// The engine never touches the WorkloadMeter: the store charges the
+// analytic step counts of the reference scans at merge time (the
+// modeled-effort contract), using the per-shard Fenwick slot totals for the
+// Algorithm 1 slot-visit terms.
+//
+// Per-shard answers for one (area, family) key are computed in batched
+// broadcasts and cached until the next mutation (epoch bump). The batch is
+// split into lazy query groups so the engine never does more aggregate work
+// than the sequential kernel it replaces: the blank-node candidate (the
+// common phase-2 hit) is one cheap pass, and the four deep-phase queries
+// (partially-blank, idle-configured, busy-fit, Algorithm 1) share a single
+// combined pass computed only when a decision actually reaches them —
+// one fork-join answering four scans. Ranked-host (heuristic policies) is
+// its own group.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "resource/store.hpp"
+#include "resource/store_index.hpp"
+#include "sim/shard_pool.hpp"
+
+namespace dreamsim::resource {
+
+/// The shard partition plus per-shard indexes and the decision cache.
+/// Owned by ResourceStore; every store mutation calls Refresh().
+class ShardEngine {
+ public:
+  /// `threads` of 0 picks min(shards, hardware concurrency).
+  ShardEngine(const ConfigCatalogue& configs, std::size_t shards,
+              std::size_t threads, ShardBy by);
+  ~ShardEngine();
+
+  /// (Re-)binds the store's backing vectors. The engine keeps pointers to
+  /// the vector objects themselves, so the owning store must re-call this
+  /// after moving.
+  void Bind(const ConfigCatalogue& configs, const std::vector<Node>& nodes,
+            const std::vector<NodeId>& blank,
+            const std::vector<std::size_t>& blank_pos,
+            const std::vector<Area>& busy_area);
+
+  /// Registers a node (ids must arrive in ascending dense order, as in the
+  /// store) and assigns it to its shard.
+  void AddNode(const Node& node, Area busy_area);
+
+  /// Re-derives the node's shard-index entries and invalidates the
+  /// decision cache.
+  void Refresh(const Node& node, Area busy_area);
+
+  /// Selects the answer flavour: shard-local index queries (true) or
+  /// parallel member scans (false). Mirrors the store's index mode.
+  void SetIndexed(bool enabled);
+  [[nodiscard]] bool indexed() const { return indexed_; }
+
+  /// Keys the decision cache to one (area, family) pair and computes the
+  /// common-case blank-candidate group. Called by the scheduler ahead of a
+  /// decision's queries; each query also ensures its own group lazily.
+  void PrefetchDecision(Area needed_area, FamilyId family);
+
+  // --- Merged decision mirrors (no step charges; the store charges) ---
+
+  [[nodiscard]] std::optional<NodeId> BestBlank(Area needed_area,
+                                                FamilyId family);
+  [[nodiscard]] std::optional<NodeId> BestPartiallyBlank(Area needed_area,
+                                                         FamilyId family);
+  [[nodiscard]] std::optional<NodeId> BestIdleConfigured(Area needed_area,
+                                                         FamilyId family);
+  [[nodiscard]] std::optional<NodeId> AnyBusyFitNode(Area needed_area,
+                                                     FamilyId family);
+  [[nodiscard]] std::optional<ReconfigPlan> FindAnyIdle(Area needed_area,
+                                                        FamilyId family);
+  [[nodiscard]] std::optional<NodeId> RankedHost(Area needed_area,
+                                                 HostRank rank,
+                                                 FamilyId family);
+
+  /// FindBestIdleEntry over one idle list: chunked parallel scan of the
+  /// cells with a fixed chunk-order merge on (available area, cell
+  /// position). Not part of the decision bundle (keyed by config, and it
+  /// has no index fast path in either kernel).
+  [[nodiscard]] std::optional<EntryRef> BestIdleEntry(
+      const std::vector<EntryRef>& cells) const;
+
+  // --- Analytic-charge helpers (Algorithm 1 slot-visit terms) ---
+
+  /// Sum over shards of live-slot counts of family-compatible members with
+  /// id < `bound_id`.
+  [[nodiscard]] Steps LiveSlotPrefixBefore(FamilyId family,
+                                           std::uint32_t bound_id) const;
+  /// Sum over shards of live-slot counts of family-compatible members.
+  [[nodiscard]] Steps LiveSlotTotal(FamilyId family) const;
+
+  // --- Introspection (auditor, tests, benches) ---
+
+  [[nodiscard]] std::size_t shard_count() const { return members_.size(); }
+  [[nodiscard]] ShardBy shard_by() const { return by_; }
+  [[nodiscard]] std::size_t threads() const { return pool_->threads(); }
+  /// True when the pool has real workers. With one thread the scan-mode
+  /// broadcast buys nothing and loses the reference scans' early exits, so
+  /// the store answers from its own sequential scans instead (identical
+  /// results; the differential suite pins the equivalence).
+  [[nodiscard]] bool parallel() const { return pool_->threads() > 1; }
+  [[nodiscard]] const std::vector<std::uint32_t>& members(
+      std::size_t shard) const {
+    return members_[shard];
+  }
+  [[nodiscard]] std::uint32_t shard_of(std::uint32_t id) const {
+    return shard_of_[id];
+  }
+  [[nodiscard]] const StoreIndex& shard_index(std::size_t shard) const {
+    return *indexes_[shard];
+  }
+
+  /// Self-check: partition exactness plus every shard index against ground
+  /// truth. Returns one message per violation (empty = consistent).
+  [[nodiscard]] std::vector<std::string> Validate() const;
+
+ private:
+  /// One shard's local winners for a (area, family) decision key.
+  struct ShardAnswer {
+    std::optional<NodeId> blank;
+    Area blank_total = 0;
+    std::size_t blank_list_pos = 0;
+    std::optional<NodeId> partial;
+    Area partial_avail = 0;
+    std::optional<NodeId> idle_cfg;
+    Area idle_cfg_total = 0;
+    std::optional<NodeId> busy_fit;
+    std::optional<ReconfigPlan> any_idle;
+    std::optional<NodeId> first_fit;
+    std::optional<NodeId> best_fit;
+    Area best_fit_avail = 0;
+    std::optional<NodeId> worst_fit;
+    Area worst_fit_avail = 0;
+  };
+
+  /// Lazily computed slices of a ShardAnswer: a group's queries share one
+  /// broadcast, and a group no decision reaches is never computed.
+  enum class QueryGroup : std::uint8_t {
+    kBlank = 0,   // BestBlank (the common phase-2 hit)
+    kRest,        // partial / idle-configured / busy-fit / Algorithm 1
+    kRanked,      // first/best/worst fit (heuristic policies)
+  };
+  static constexpr std::size_t kQueryGroups = 3;
+
+  struct Bundle {
+    bool keyed = false;
+    bool have[kQueryGroups] = {false, false, false};
+    std::uint64_t epoch = 0;
+    Area area = 0;
+    std::uint32_t family_raw = 0;
+    std::vector<ShardAnswer> answers;  // indexed by shard
+  };
+
+  void EnsureBundle(Area needed_area, FamilyId family, QueryGroup group);
+  void ComputeScan(std::size_t shard, Area needed_area, FamilyId family,
+                   QueryGroup group, ShardAnswer& answer) const;
+  void ComputeIndexed(std::size_t shard, Area needed_area, FamilyId family,
+                      QueryGroup group, ShardAnswer& answer) const;
+  /// Mirrors the Algorithm 1 inner loop (see StoreIndex::ReplayReclaimScan).
+  [[nodiscard]] std::optional<ReconfigPlan> ReplayReclaim(
+      const Node& node, Area needed_area) const;
+  [[nodiscard]] std::uint32_t ShardOf(const Node& node) const;
+
+  const ConfigCatalogue* configs_;
+  const std::vector<Node>* nodes_ = nullptr;
+  const std::vector<NodeId>* blank_ = nullptr;
+  const std::vector<std::size_t>* blank_pos_view_ = nullptr;
+  const std::vector<Area>* busy_area_view_ = nullptr;
+  ShardBy by_;
+  bool indexed_ = true;
+  std::vector<std::vector<std::uint32_t>> members_;  // shard -> ascending ids
+  std::vector<std::unique_ptr<StoreIndex>> indexes_;  // sparse, per shard
+  std::vector<std::uint32_t> shard_of_;               // node id -> shard
+  std::uint64_t epoch_ = 0;  // bumped on every mutation; keys the cache
+  Bundle bundle_;
+  std::unique_ptr<sim::ShardPool> pool_;
+};
+
+}  // namespace dreamsim::resource

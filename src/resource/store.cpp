@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "resource/shard_engine.hpp"
 #include "resource/store_index.hpp"
 #include "util/fmt.hpp"
 
@@ -14,7 +15,13 @@ ResourceStore::ResourceStore(ConfigCatalogue configs)
     : configs_(std::move(configs)),
       idle_lists_(configs_.size()),
       busy_lists_(configs_.size()),
-      index_(std::make_unique<StoreIndex>(configs_)) {}
+      index_(std::make_unique<StoreIndex>(configs_)) {
+  for (const Configuration& c : configs_.all()) {
+    if (min_config_area_ == 0 || c.required_area < min_config_area_) {
+      min_config_area_ = c.required_area;
+    }
+  }
+}
 
 // Out of line so the header can hold StoreIndex behind a forward
 // declaration. Moves re-bind the index's catalogue pointer, which refers
@@ -31,8 +38,11 @@ ResourceStore::ResourceStore(ResourceStore&& other) noexcept
       busy_area_(std::move(other.busy_area_)),
       failed_count_(other.failed_count_),
       index_(std::move(other.index_)),
+      shard_(std::move(other.shard_)),
+      min_config_area_(other.min_config_area_),
       meter_(other.meter_) {
   if (index_) index_->RebindCatalogue(configs_);
+  if (shard_) shard_->Bind(configs_, nodes_, blank_, blank_pos_, busy_area_);
 }
 
 ResourceStore& ResourceStore::operator=(ResourceStore&& other) noexcept {
@@ -46,12 +56,18 @@ ResourceStore& ResourceStore::operator=(ResourceStore&& other) noexcept {
   busy_area_ = std::move(other.busy_area_);
   failed_count_ = other.failed_count_;
   index_ = std::move(other.index_);
+  shard_ = std::move(other.shard_);
+  min_config_area_ = other.min_config_area_;
   meter_ = other.meter_;
   if (index_) index_->RebindCatalogue(configs_);
+  if (shard_) shard_->Bind(configs_, nodes_, blank_, blank_pos_, busy_area_);
   return *this;
 }
 
 void ResourceStore::SetIndexed(bool enabled) {
+  // The sharded engine answers from its shard-local indexes exactly when
+  // the store is indexed, so the flavour follows this toggle.
+  if (shard_) shard_->SetIndexed(enabled);
   if (enabled == indexed()) return;
   if (!enabled) {
     index_.reset();
@@ -63,9 +79,34 @@ void ResourceStore::SetIndexed(bool enabled) {
   }
 }
 
+void ResourceStore::SetShards(std::size_t shards, std::size_t threads,
+                              ShardBy by) {
+  if (shards <= 1) {
+    shard_.reset();
+    return;
+  }
+  shard_ = std::make_unique<ShardEngine>(configs_, shards, threads, by);
+  shard_->Bind(configs_, nodes_, blank_, blank_pos_, busy_area_);
+  shard_->SetIndexed(indexed());
+  for (const Node& n : nodes_) {
+    shard_->AddNode(n, busy_area_[n.id().value()]);
+  }
+}
+
+bool ResourceStore::ShardAnswers() const {
+  return shard_ && (shard_->indexed() || shard_->parallel());
+}
+
+void ResourceStore::PrefetchDecision(Area needed_area, FamilyId family) {
+  if (ShardAnswers()) shard_->PrefetchDecision(needed_area, family);
+}
+
 void ResourceStore::RefreshIndex(NodeId node_id) {
   if (index_) {
     index_->Refresh(nodes_[node_id.value()], busy_area_[node_id.value()]);
+  }
+  if (shard_) {
+    shard_->Refresh(nodes_[node_id.value()], busy_area_[node_id.value()]);
   }
 }
 
@@ -75,10 +116,19 @@ NodeId ResourceStore::AddNode(Area total_area, FamilyId family, Caps caps,
   const auto id = NodeId{static_cast<std::uint32_t>(nodes_.size())};
   nodes_.emplace_back(id, total_area, family, caps, contiguous, placement);
   nodes_.back().set_network_delay(network_delay);
+  if (min_config_area_ > 0) {
+    // A node can hold at most total/min-config-area live slots; capped
+    // tightly (occupancy rarely passes a handful) so the hint kills the
+    // small-vector reallocation churn without bloating per-node memory —
+    // at a million nodes a generous cap costs real cache locality.
+    nodes_.back().ReserveSlots(std::min<std::size_t>(
+        static_cast<std::size_t>(total_area / min_config_area_) + 1, 16));
+  }
   blank_pos_.push_back(blank_.size());
   blank_.push_back(id);
   busy_area_.push_back(0);
   if (index_) index_->AddNode(nodes_.back(), 0);
+  if (shard_) shard_->AddNode(nodes_.back(), 0);
   return id;
 }
 
@@ -136,6 +186,12 @@ EntryList& ResourceStore::busy_list_mut(ConfigId config) {
 
 std::optional<EntryRef> ResourceStore::FindBestIdleEntry(ConfigId config) {
   const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
+  if (ShardAnswers()) {
+    // Chunked parallel scan; the charge is what FindMin pays per cell.
+    const auto& cells = idle_list(config).cells();
+    meter_.Add(StepKind::kSchedulingSearch, cells.size());
+    return shard_->BestIdleEntry(cells);
+  }
   return idle_list(config).FindMin(
       [this](EntryRef e) {
         return static_cast<long long>(node(e.node).available_area());
@@ -155,6 +211,11 @@ bool FamilyOk(FamilyId required, const Node& n) {
 std::optional<NodeId> ResourceStore::FindBestBlankNode(Area needed_area,
                                                        FamilyId family) {
   const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
+  if (ShardAnswers()) {
+    // The reference scan visits every blank node, fit or not.
+    meter_.Add(StepKind::kSchedulingSearch, blank_.size());
+    return shard_->BestBlank(needed_area, family);
+  }
   if (index_) {
     // The reference scan visits every blank node, fit or not.
     meter_.Add(StepKind::kSchedulingSearch, blank_.size());
@@ -178,6 +239,11 @@ std::optional<NodeId> ResourceStore::FindBestBlankNode(Area needed_area,
 std::optional<NodeId> ResourceStore::FindBestPartiallyBlankNode(
     Area needed_area, FamilyId family) {
   const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
+  if (ShardAnswers()) {
+    // The reference scan walks the whole node list unconditionally.
+    meter_.Add(StepKind::kSchedulingSearch, nodes_.size());
+    return shard_->BestPartiallyBlank(needed_area, family);
+  }
   if (index_) {
     // The reference scan walks the whole node list unconditionally.
     meter_.Add(StepKind::kSchedulingSearch, nodes_.size());
@@ -201,6 +267,28 @@ std::optional<NodeId> ResourceStore::FindBestPartiallyBlankNode(
 std::optional<ReconfigPlan> ResourceStore::FindAnyIdleNode(Area needed_area,
                                                            FamilyId family) {
   const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
+  if (ShardAnswers()) {
+    // The charge is the analytic count of node and slot visits the scan
+    // would have made: one per node up to the winner (or all of them on a
+    // miss) plus one per live slot of every family-compatible node the
+    // scan fully inspected — including the winner's own slots when the
+    // plan reclaims (the reference pays the slot walk that built it).
+    auto plan = shard_->FindAnyIdle(needed_area, family);
+    Steps steps = 0;
+    if (plan) {
+      const std::uint32_t winner = plan->node.value();
+      steps = static_cast<Steps>(winner) + 1 +
+              shard_->LiveSlotPrefixBefore(family, winner);
+      if (!plan->removable_entries.empty()) {
+        steps += static_cast<Steps>(node(plan->node).config_count());
+      }
+    } else {
+      steps = static_cast<Steps>(nodes_.size()) +
+              shard_->LiveSlotTotal(family);
+    }
+    meter_.Add(StepKind::kSchedulingSearch, steps);
+    return plan;
+  }
   if (index_) {
     // Candidates come from the max-reclaimable-area descent; the charge is
     // the analytic count of node and slot visits the scan would have made.
@@ -240,6 +328,15 @@ std::optional<ReconfigPlan> ResourceStore::FindAnyIdleNode(Area needed_area,
 
 bool ResourceStore::AnyBusyNodeCouldFit(Area needed_area, FamilyId family) {
   const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
+  if (ShardAnswers()) {
+    // The reference scan early-exits at the first qualifying node, having
+    // charged one step per node up to it (all nodes on a miss).
+    const auto winner = shard_->AnyBusyFitNode(needed_area, family);
+    meter_.Add(StepKind::kSchedulingSearch,
+               winner ? static_cast<Steps>(winner->value()) + 1
+                      : static_cast<Steps>(nodes_.size()));
+    return winner.has_value();
+  }
   if (index_) {
     const auto result = index_->AnyBusyFit(needed_area, family);
     meter_.Add(StepKind::kSchedulingSearch, result.steps);
@@ -256,6 +353,10 @@ bool ResourceStore::AnyBusyNodeCouldFit(Area needed_area, FamilyId family) {
 std::optional<NodeId> ResourceStore::FindBestIdleConfiguredNode(
     Area needed_area, FamilyId family) {
   const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
+  if (ShardAnswers()) {
+    meter_.Add(StepKind::kSchedulingSearch, nodes_.size());
+    return shard_->BestIdleConfigured(needed_area, family);
+  }
   if (index_) {
     meter_.Add(StepKind::kSchedulingSearch, nodes_.size());
     return index_->BestIdleConfigured(needed_area, family);
@@ -279,6 +380,10 @@ std::optional<NodeId> ResourceStore::FindRankedHostNode(Area needed_area,
                                                         HostRank rank,
                                                         FamilyId family) {
   const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
+  if (ShardAnswers()) {
+    meter_.Add(StepKind::kSchedulingSearch, nodes_.size());
+    return shard_->RankedHost(needed_area, rank, family);
+  }
   if (index_) {
     meter_.Add(StepKind::kSchedulingSearch, nodes_.size());
     return index_->RankedHost(needed_area, rank, family, nodes_);
@@ -648,6 +753,12 @@ std::vector<std::string> ResourceStore::ValidateConsistency() const {
   // Cross-check every indexed structure against ground truth.
   if (index_) {
     for (std::string& v : index_->Validate(nodes_, busy_area_)) {
+      violations.push_back(std::move(v));
+    }
+  }
+  // Shard partition exactness and every shard-local index.
+  if (shard_) {
+    for (std::string& v : shard_->Validate()) {
       violations.push_back(std::move(v));
     }
   }

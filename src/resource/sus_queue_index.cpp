@@ -276,7 +276,7 @@ std::optional<std::size_t> SusQueueIndex::BestPriorityEligible(
 }
 
 std::vector<std::string> SusQueueIndex::Validate(
-    const std::deque<TaskId>& queue,
+    const std::vector<TaskId>& queue,
     const std::function<SusEntryAttrs(TaskId)>& attrs_of) const {
   std::vector<std::string> violations;
   const auto complain = [&violations](std::string msg) {

@@ -37,7 +37,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -165,7 +164,7 @@ class SusQueueIndex {
   /// Cross-checks every indexed value against the ground-truth queue and
   /// an attribute oracle; returns one message per violation.
   [[nodiscard]] std::vector<std::string> Validate(
-      const std::deque<TaskId>& queue,
+      const std::vector<TaskId>& queue,
       const std::function<SusEntryAttrs(TaskId)>& attrs_of) const;
 
  private:

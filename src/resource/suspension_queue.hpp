@@ -12,10 +12,10 @@
 // (DESIGN.md "Scheduler index").
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "obs/profiler.hpp"
 #include "resource/sus_queue_index.hpp"
@@ -124,7 +124,13 @@ class SuspensionQueue {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   /// Read-only view in FIFO order (oldest first).
-  [[nodiscard]] const std::deque<TaskId>& tasks() const { return queue_; }
+  [[nodiscard]] const std::vector<TaskId>& tasks() const { return queue_; }
+
+  /// Pre-reserves FIFO and attribute-map capacity for `expected` entries.
+  void Reserve(std::size_t expected) {
+    queue_.reserve(expected);
+    attrs_.reserve(expected);
+  }
 
  private:
   // Correctness tooling (src/analysis): read-only ground-truth diffing and
@@ -137,7 +143,7 @@ class SuspensionQueue {
   void EraseAt(std::size_t index);
 
   std::size_t capacity_;
-  std::deque<TaskId> queue_;
+  std::vector<TaskId> queue_;
   std::unordered_map<std::uint32_t, SusEntryAttrs> attrs_;  // by TaskId value
   std::unique_ptr<SusQueueIndex> index_;
 };

@@ -15,6 +15,11 @@ bool EventQueue::Cancel(EventHandle handle) {
   return actions_.erase(handle.sequence) > 0;
 }
 
+void EventQueue::Reserve(std::size_t expected) {
+  heap_.Reserve(expected);
+  actions_.reserve(expected);
+}
+
 void EventQueue::DropDead() {
   while (!heap_.empty() && !actions_.contains(heap_.top().sequence)) {
     heap_.pop();

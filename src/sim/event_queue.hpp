@@ -71,6 +71,10 @@ class EventQueue {
   /// Total events ever pushed (diagnostics).
   [[nodiscard]] std::uint64_t pushed_total() const { return next_sequence_ - 1; }
 
+  /// Pre-reserves heap and side-table capacity for `expected` pending
+  /// events, eliminating reallocation churn on large-N runs.
+  void Reserve(std::size_t expected);
+
  private:
   // Correctness tooling (src/analysis): read-only ground-truth diffing and
   // test-only seeded corruption. See resource/entry_list.hpp.
@@ -90,10 +94,16 @@ class EventQueue {
     }
   };
 
+  /// std::priority_queue hides its container; this shim exposes just
+  /// enough of the protected member `c` to pre-reserve it.
+  struct ReservingHeap : std::priority_queue<Entry, std::vector<Entry>, Later> {
+    void Reserve(std::size_t n) { c.reserve(n); }
+  };
+
   /// Pops cancelled entries off the heap top.
   void DropDead();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  ReservingHeap heap_;
   std::unordered_map<std::uint64_t, Action> actions_;
   std::uint64_t next_sequence_ = 1;
 };

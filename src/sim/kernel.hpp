@@ -51,6 +51,9 @@ class Kernel {
   /// Clears all pending events and rewinds the clock to zero.
   void Reset();
 
+  /// Pre-reserves event-queue capacity for `expected` pending events.
+  void ReserveEvents(std::size_t expected) { queue_.Reserve(expected); }
+
  private:
   Clock clock_;
   EventQueue queue_;

@@ -1,0 +1,76 @@
+#include "sim/shard_pool.hpp"
+
+namespace dreamsim::sim {
+
+ShardPool::ShardPool(std::size_t threads) {
+  const std::size_t spawn = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(spawn);
+  for (std::size_t i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mut_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ShardPool::Run(std::size_t jobs, const Job& job) {
+  if (jobs == 0) return;
+  if (workers_.empty() || jobs == 1) {
+    for (std::size_t i = 0; i < jobs; ++i) job(i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mut_);
+    jobs_ = jobs;
+    job_ = &job;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = workers_.size() + 1;  // workers + this thread
+    ++round_;
+  }
+  work_cv_.notify_all();
+  DrainJobs();
+  {
+    // Waiting on active_ == 0 under the mutex gives this thread an
+    // acquire edge past every worker's release, publishing their writes.
+    std::unique_lock<std::mutex> lock(mut_);
+    done_cv_.wait(lock, [this] { return active_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+void ShardPool::DrainJobs() {
+  const Job& job = *job_;
+  const std::size_t jobs = jobs_;
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= jobs) break;
+    job(i);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mut_);
+    --active_;
+    if (active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ShardPool::WorkerLoop() {
+  std::uint64_t seen_round = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mut_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || round_ != seen_round; });
+      if (stop_) return;
+      seen_round = round_;
+    }
+    DrainJobs();
+  }
+}
+
+}  // namespace dreamsim::sim

@@ -1,0 +1,62 @@
+// Persistent worker pool for the sharded kernel (DESIGN.md §13).
+//
+// One pool lives for the whole run; each Run() broadcast hands every worker
+// the same job closure with a distinct job index in [0, jobs). The calling
+// thread participates, so a pool built with `threads` executes on `threads`
+// OS threads total (threads - 1 workers plus the caller). Determinism is the
+// caller's problem by contract: jobs must write only to their own slot of a
+// pre-sized result vector, and the merge that reads those slots happens after
+// Run() returns, on the calling thread, in fixed job order — never in
+// completion order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dreamsim::sim {
+
+/// Fork-join broadcast pool. Not reentrant: Run() must not be called from
+/// inside a job.
+class ShardPool {
+ public:
+  using Job = std::function<void(std::size_t)>;
+
+  /// Spawns `threads - 1` workers (so `threads` includes the caller).
+  /// `threads` of 0 or 1 spawns none; Run() then executes inline.
+  explicit ShardPool(std::size_t threads);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  /// Executes `job(i)` for every i in [0, jobs) across the pool and the
+  /// calling thread; returns after all jobs complete. The mutex handoff on
+  /// completion publishes every job's writes to the caller.
+  void Run(std::size_t jobs, const Job& job);
+
+  /// Total OS threads participating in a Run() (workers + caller).
+  [[nodiscard]] std::size_t threads() const { return workers_.size() + 1; }
+
+ private:
+  void WorkerLoop();
+  /// Claims and executes jobs until the counter drains, then reports done.
+  void DrainJobs();
+
+  std::mutex mut_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t round_ = 0;      // generation counter; bumped per Run()
+  std::size_t jobs_ = 0;         // job count of the current round
+  const Job* job_ = nullptr;     // current round's job (valid while active)
+  std::atomic<std::size_t> next_{0};  // next unclaimed job index
+  std::size_t active_ = 0;       // workers still draining this round
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dreamsim::sim

@@ -21,7 +21,6 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <deque>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -55,7 +54,7 @@ bool Eligible(const SusEntryAttrs& a, FamilyId family, Area bound,
 /// Brute-force rescans of the queue, mirroring the simulator's literal
 /// loops (first match wins; priority replaces only when strictly greater).
 struct BruteForce {
-  const std::deque<TaskId>& queue;
+  const std::vector<TaskId>& queue;
   const std::unordered_map<std::uint32_t, SusEntryAttrs>& attrs;
 
   [[nodiscard]] const SusEntryAttrs& At(std::size_t i) const {

@@ -20,6 +20,11 @@
 //   unordered-writer-iteration report/trace writers never range-for over
 //                              unordered members (hash order would leak
 //                              into output bytes; collect + sort instead).
+//   unordered-merge            sharded-kernel sources never range-for over
+//                              unordered members (a cross-shard reduction
+//                              seeded by hash order would break the
+//                              deterministic-merge contract; reduce in
+//                              fixed shard order over ordered state).
 //
 // Suppressions: `// lint: allow(<rule>)` on the finding's line or the line
 // above; `// lint: allow-file(<rule>)` anywhere in the file. Exit status 1
@@ -368,6 +373,12 @@ bool IsWriterFile(const std::string& path) {
   return stem.find("report") != std::string::npos;
 }
 
+// --- Rule 6: hash-order reductions in the sharded kernel --------------------
+
+bool IsShardFile(const std::string& path) {
+  return Stem(path).find("shard") != std::string::npos;
+}
+
 /// Member names declared as unordered containers in `clean`.
 std::set<std::string> UnorderedMembers(const std::string& clean) {
   std::set<std::string> members;
@@ -400,9 +411,10 @@ std::set<std::string> UnorderedMembers(const std::string& clean) {
   return members;
 }
 
-void CheckWriterIteration(const Source& src,
-                          const std::set<std::string>& unordered_names,
-                          std::vector<Finding>& findings) {
+void CheckUnorderedRangeFor(const Source& src,
+                            const std::set<std::string>& unordered_names,
+                            std::string_view rule, std::string_view why,
+                            std::vector<Finding>& findings) {
   for (const std::size_t hit : FindWord(src.clean, "for")) {
     std::size_t i = hit + 3;
     while (i < src.clean.size() &&
@@ -433,10 +445,9 @@ void CheckWriterIteration(const Source& src,
         src.clean.substr(range_colon + 1, j - 1 - (range_colon + 1));
     for (const std::string& name : unordered_names) {
       if (!FindWord(range_expr, name).empty()) {
-        Report(findings, src, hit, "unordered-writer-iteration",
-               "range-for over unordered container '" + name +
-                   "' in a report/trace writer leaks hash order into "
-                   "output; collect keys and sort first");
+        Report(findings, src, hit, std::string(rule),
+               "range-for over unordered container '" + name + "' " +
+                   std::string(why));
         break;
       }
     }
@@ -513,11 +524,22 @@ int main(int argc, char** argv) {
                      kStoreInternals, "ResourceStore's private mirror state");
     CheckUnchargedQueries(src, findings);
     CheckNondeterminism(src, findings);
+    const auto slash = src.path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "" : src.path.substr(0, slash);
     if (IsWriterFile(src.path)) {
-      const auto slash = src.path.find_last_of('/');
-      const std::string dir =
-          slash == std::string::npos ? "" : src.path.substr(0, slash);
-      CheckWriterIteration(src, unordered_by_dir[dir], findings);
+      CheckUnorderedRangeFor(src, unordered_by_dir[dir],
+                             "unordered-writer-iteration",
+                             "in a report/trace writer leaks hash order into "
+                             "output; collect keys and sort first",
+                             findings);
+    }
+    if (IsShardFile(src.path)) {
+      CheckUnorderedRangeFor(src, unordered_by_dir[dir], "unordered-merge",
+                             "in the sharded kernel seeds a cross-shard "
+                             "reduction with hash order; merge in fixed "
+                             "shard order over ordered state",
+                             findings);
     }
   }
 
