@@ -54,6 +54,24 @@ BENCHMARK(BM_SimulatorByPolicy)
     ->DenseRange(0, 6)
     ->Unit(benchmark::kMillisecond);
 
+// Measurement note (PR 7): ResourceStore::InitNodes pre-reserves every
+// per-configuration EntryList from the node-count hint (count*2/configs +
+// slack), the same discipline as the event-heap/FIFO reservations. Setup
+// below covers node generation plus those reservations; before the change
+// the first saturation wave paid the list growth instead, which showed up
+// as rehash spikes inside the *timed* region of BM_SimulatorPartial.
+void BM_SimulatorSetup(benchmark::State& state) {
+  for (auto _ : state) {
+    core::Simulator sim(BenchConfig(100, state.range(0)));
+    benchmark::DoNotOptimize(sim.store().node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorSetup)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_MonitoringOverhead(benchmark::State& state) {
   const bool monitoring = state.range(0) != 0;
   for (auto _ : state) {

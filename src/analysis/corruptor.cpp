@@ -16,8 +16,20 @@ void StructureCorruptor::InjectOrphanIdleEntry(resource::ResourceStore& store,
                                                ConfigId config,
                                                resource::EntryRef entry) {
   resource::EntryList& list = store.idle_lists_.at(config.value());
-  list.positions_.emplace(entry, list.cells_.size());
+  const auto gpos = static_cast<std::uint32_t>(list.cells_.size());
+  // Keep the flat map — and, when partitioned, the shard buckets — fully
+  // consistent with the orphan, so only the cross-structure diff against
+  // the node slots can catch it.
+  resource::EntryList::PosSlot& slot =
+      list.InsertSlot(resource::PackEntryRef(entry));
+  slot.pos = gpos;
   list.cells_.push_back(entry);
+  if (list.shard_of_ != nullptr &&
+      entry.node.value() < list.shard_of_->size()) {
+    auto& bucket = list.buckets_.at((*list.shard_of_)[entry.node.value()]);
+    slot.bucket_pos = static_cast<std::uint32_t>(bucket.size());
+    bucket.push_back({entry, gpos});
+  }
 }
 
 void StructureCorruptor::CorruptPositionMap(resource::ResourceStore& store,
@@ -26,8 +38,26 @@ void StructureCorruptor::CorruptPositionMap(resource::ResourceStore& store,
   if (list.cells_.size() < 2) {
     throw std::logic_error("CorruptPositionMap: need >= 2 idle entries");
   }
-  std::swap(list.positions_.at(list.cells_[0]),
-            list.positions_.at(list.cells_[1]));
+  const std::size_t s0 = list.FindSlot(resource::PackEntryRef(list.cells_[0]));
+  const std::size_t s1 = list.FindSlot(resource::PackEntryRef(list.cells_[1]));
+  if (s0 == list.table_.size() || s1 == list.table_.size()) {
+    throw std::logic_error("CorruptPositionMap: cells missing from the map");
+  }
+  std::swap(list.table_[s0].pos, list.table_[s1].pos);
+}
+
+void StructureCorruptor::SkewShardBucket(resource::ResourceStore& store,
+                                         ConfigId config) {
+  resource::EntryList& list = store.idle_lists_.at(config.value());
+  if (list.shard_of_ == nullptr) {
+    throw std::logic_error("SkewShardBucket: list is not partitioned");
+  }
+  for (auto& bucket : list.buckets_) {
+    if (bucket.empty()) continue;
+    ++bucket.front().gpos;
+    return;
+  }
+  throw std::logic_error("SkewShardBucket: no bucketed idle entries");
 }
 
 void StructureCorruptor::SkewIndexConfigCount(resource::ResourceStore& store,

@@ -41,6 +41,7 @@ using resource::EntryRef;
 using resource::EntryRefHash;
 using resource::MaxSegTree;
 using resource::Node;
+using resource::PackEntryRef;
 using resource::ResourceStore;
 using resource::StoreIndex;
 using resource::SusEntryAttrs;
@@ -183,21 +184,69 @@ void StructureAuditor::AuditEntryLists(const ResourceStore& store,
                       entry.node.value(), entry.slot, label));
       }
     }
-    // Position map: exact inverse of the cell vector.
-    if (list.positions_.size() != list.cells_.size()) {
+    // Position map (open-addressing flat table): exact inverse of the cell
+    // vector.
+    if (list.table_used_ != list.cells_.size()) {
       Report(report, "fig3.positions",
              Format("config {} {} list", config.value(), label),
-             Format("{} positions for {} cells", list.positions_.size(),
+             Format("{} occupied table slots for {} cells", list.table_used_,
                     list.cells_.size()));
     }
     for (std::size_t pos = 0; pos < list.cells_.size(); ++pos) {
-      const auto it = list.positions_.find(list.cells_[pos]);
-      if (it == list.positions_.end() || it->second != pos) {
+      const std::size_t slot = list.FindSlot(PackEntryRef(list.cells_[pos]));
+      if (slot == list.table_.size()) {
         Report(report, "fig3.positions",
                EntryPath(config, label, pos, list.cells_[pos]),
-               it == list.positions_.end()
-                   ? std::string("cell has no position entry")
-                   : Format("position map says {}", it->second));
+               "cell has no position entry");
+      } else if (list.table_[slot].pos != pos) {
+        Report(report, "fig3.positions",
+               EntryPath(config, label, pos, list.cells_[pos]),
+               Format("position map says {}", list.table_[slot].pos));
+      }
+    }
+    // Shard partition buckets (DESIGN.md §14): every cell mirrored into
+    // exactly its node's shard bucket, carrying its current global position
+    // (the tie-break key of the per-shard scans), with a valid back-pointer.
+    if (list.shard_of_ == nullptr) return;
+    const std::vector<std::uint32_t>& shard_of = *list.shard_of_;
+    std::size_t mirrored = 0;
+    for (std::size_t s = 0; s < list.buckets_.size(); ++s) {
+      for (const EntryList::ShardCell& cell : list.buckets_[s]) {
+        const std::string path = Format(
+            "config {} {} list shard {} (node {} slot {})", config.value(),
+            label, s, cell.entry.node.value(), cell.entry.slot);
+        if (cell.gpos >= list.cells_.size() ||
+            !(list.cells_[cell.gpos] == cell.entry)) {
+          Report(report, "fig3.partition", path,
+                 Format("bucket cell's global position {} does not point "
+                        "back at it",
+                        cell.gpos));
+          continue;
+        }
+        if (cell.entry.node.value() >= shard_of.size() ||
+            shard_of[cell.entry.node.value()] != s) {
+          Report(report, "fig3.partition", path,
+                 "cell bucketed in the wrong shard");
+        }
+      }
+      mirrored += list.buckets_[s].size();
+    }
+    if (mirrored != list.cells_.size()) {
+      Report(report, "fig3.partition",
+             Format("config {} {} list", config.value(), label),
+             Format("{} bucket cells mirror {} global cells", mirrored,
+                    list.cells_.size()));
+    }
+    for (std::size_t pos = 0; pos < list.cells_.size(); ++pos) {
+      const EntryRef entry = list.cells_[pos];
+      const std::size_t slot = list.FindSlot(PackEntryRef(entry));
+      if (slot == list.table_.size()) continue;  // fig3.positions above
+      if (entry.node.value() >= shard_of.size()) continue;
+      const auto& bucket = list.buckets_[shard_of[entry.node.value()]];
+      const std::uint32_t bpos = list.table_[slot].bucket_pos;
+      if (bpos >= bucket.size() || !(bucket[bpos].entry == entry)) {
+        Report(report, "fig3.partition", EntryPath(config, label, pos, entry),
+               "bucket-position back-pointer is stale");
       }
     }
   };

@@ -2,27 +2,162 @@
 
 namespace dreamsim::resource {
 
+namespace {
+
+/// splitmix64 finalizer. Packed EntryRefs are (node << 32) | slot with
+/// dense node ids and tiny slot indexes, so an identity hash would pile
+/// every key onto the first few probe slots; this spreads them.
+constexpr std::uint64_t MixKey(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Table grows before use exceeds 11/16 of capacity.
+constexpr bool OverLoaded(std::size_t used, std::size_t capacity) {
+  return used * 16 > capacity * 11;
+}
+
+}  // namespace
+
+std::size_t EntryList::ProbeStart(std::uint64_t key) const {
+  return static_cast<std::size_t>(MixKey(key)) & (table_.size() - 1);
+}
+
+std::size_t EntryList::FindSlot(std::uint64_t key) const {
+  if (table_.empty()) return 0;  // == table_.size(): absent
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = ProbeStart(key);
+  while (table_[i].key != PosSlot::kEmptyKey) {
+    if (table_[i].key == key) return i;
+    i = (i + 1) & mask;
+  }
+  return table_.size();
+}
+
+EntryList::PosSlot& EntryList::InsertSlot(std::uint64_t key) {
+  if (table_.empty()) {
+    Rehash(16);
+  } else if (OverLoaded(table_used_ + 1, table_.size())) {
+    Rehash(table_.size() * 2);
+  }
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = ProbeStart(key);
+  while (table_[i].key != PosSlot::kEmptyKey && table_[i].key != key) {
+    i = (i + 1) & mask;
+  }
+  if (table_[i].key == PosSlot::kEmptyKey) {
+    table_[i].key = key;
+    ++table_used_;
+  }
+  return table_[i];
+}
+
+void EntryList::EraseSlot(std::size_t index) {
+  // Backward-shift deletion: pull displaced probe-chain members into the
+  // hole so lookups never need tombstones.
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = index;
+  std::size_t j = index;
+  while (true) {
+    j = (j + 1) & mask;
+    if (table_[j].key == PosSlot::kEmptyKey) break;
+    const std::size_t ideal = ProbeStart(table_[j].key);
+    // Leave the element where it is only when its ideal slot lies
+    // cyclically within (i, j] — moving it to i would break its chain.
+    const bool reaches_past_hole = i <= j ? (ideal > i && ideal <= j)
+                                          : (ideal > i || ideal <= j);
+    if (!reaches_past_hole) {
+      table_[i] = table_[j];
+      i = j;
+    }
+  }
+  table_[i].key = PosSlot::kEmptyKey;
+  --table_used_;
+}
+
+void EntryList::Rehash(std::size_t capacity) {
+  std::vector<PosSlot> old = std::move(table_);
+  table_.assign(capacity, PosSlot{});
+  const std::size_t mask = capacity - 1;
+  for (const PosSlot& slot : old) {
+    if (slot.key == PosSlot::kEmptyKey) continue;
+    std::size_t i = ProbeStart(slot.key);
+    while (table_[i].key != PosSlot::kEmptyKey) i = (i + 1) & mask;
+    table_[i] = slot;
+  }
+}
+
+void EntryList::Reserve(std::size_t n) {
+  cells_.reserve(n);
+  std::size_t capacity = 16;
+  while (OverLoaded(n, capacity)) capacity *= 2;
+  if (capacity > table_.size()) Rehash(capacity);
+}
+
+void EntryList::SetPartition(const std::vector<std::uint32_t>* shard_of,
+                             std::size_t shards) {
+  shard_of_ = shard_of;
+  buckets_.clear();
+  if (shard_of_ == nullptr) return;
+  buckets_.resize(shards);
+  for (std::size_t pos = 0; pos < cells_.size(); ++pos) {
+    std::vector<ShardCell>& bucket = buckets_[ShardOfNode(cells_[pos].node)];
+    table_[FindSlot(PackEntryRef(cells_[pos]))].bucket_pos =
+        static_cast<std::uint32_t>(bucket.size());
+    bucket.push_back({cells_[pos], static_cast<std::uint32_t>(pos)});
+  }
+}
+
 void EntryList::Add(EntryRef entry, WorkloadMeter& meter) {
   meter.Add(StepKind::kHousekeeping);
-  positions_[entry] = cells_.size();
+  const auto gpos = static_cast<std::uint32_t>(cells_.size());
+  PosSlot& slot = InsertSlot(PackEntryRef(entry));
+  slot.pos = gpos;
   cells_.push_back(entry);
+  if (shard_of_ != nullptr) {
+    std::vector<ShardCell>& bucket = buckets_[ShardOfNode(entry.node)];
+    slot.bucket_pos = static_cast<std::uint32_t>(bucket.size());
+    bucket.push_back({entry, gpos});
+  }
 }
 
 bool EntryList::Remove(EntryRef entry, WorkloadMeter& meter) {
-  const auto it = positions_.find(entry);
-  if (it == positions_.end()) {
+  const std::uint64_t key = PackEntryRef(entry);
+  const std::size_t found = FindSlot(key);
+  if (found == table_.size()) {
     // The counted search would have walked the whole list before giving up.
     meter.Add(StepKind::kHousekeeping, cells_.size());
     return false;
   }
-  const std::size_t pos = it->second;
+  const std::size_t pos = table_[found].pos;
+  const std::uint32_t bpos = table_[found].bucket_pos;
   // The counted search visits pos + 1 cells to find the entry.
   meter.Add(StepKind::kHousekeeping, pos + 1);
-  positions_.erase(it);
   const EntryRef moved = cells_.back();
   cells_[pos] = moved;
   cells_.pop_back();
-  if (pos < cells_.size()) positions_[moved] = pos;
+  if (pos < cells_.size()) {  // moved != entry
+    PosSlot& moved_slot = table_[FindSlot(PackEntryRef(moved))];
+    moved_slot.pos = static_cast<std::uint32_t>(pos);
+    if (shard_of_ != nullptr) {
+      // The moved cell's global position changed; its bucket mirror must
+      // carry the new tie-break key.
+      buckets_[ShardOfNode(moved.node)][moved_slot.bucket_pos].gpos =
+          static_cast<std::uint32_t>(pos);
+    }
+  }
+  if (shard_of_ != nullptr) {
+    std::vector<ShardCell>& bucket = buckets_[ShardOfNode(entry.node)];
+    const ShardCell bucket_moved = bucket.back();
+    bucket[bpos] = bucket_moved;
+    bucket.pop_back();
+    if (bpos < bucket.size()) {  // bucket_moved != entry's own cell
+      table_[FindSlot(PackEntryRef(bucket_moved.entry))].bucket_pos = bpos;
+    }
+  }
+  EraseSlot(found);
   return true;
 }
 
@@ -36,10 +171,40 @@ bool EntryList::Contains(EntryRef entry, WorkloadMeter& meter,
 }
 
 bool EntryList::PositionsConsistent() const {
-  if (positions_.size() != cells_.size()) return false;
+  if (table_used_ != cells_.size()) return false;
   for (std::size_t i = 0; i < cells_.size(); ++i) {
-    const auto it = positions_.find(cells_[i]);
-    if (it == positions_.end() || it->second != i) return false;
+    const std::size_t slot = FindSlot(PackEntryRef(cells_[i]));
+    if (slot == table_.size() || table_[slot].pos != i) return false;
+  }
+  return true;
+}
+
+bool EntryList::PartitionConsistent() const {
+  if (shard_of_ == nullptr) return true;
+  std::size_t mirrored = 0;
+  for (std::size_t s = 0; s < buckets_.size(); ++s) {
+    // EntryList's buckets_ is an ordered vector (the name collides with
+    // SusQueueIndex's unordered map); shards are visited in index order.
+    // lint: allow(unordered-merge)
+    for (const ShardCell& cell : buckets_[s]) {
+      if (cell.gpos >= cells_.size()) return false;
+      if (!(cells_[cell.gpos] == cell.entry)) return false;
+      if (cell.entry.node.value() >= shard_of_->size() ||
+          ShardOfNode(cell.entry.node) != s) {
+        return false;
+      }
+    }
+    mirrored += buckets_[s].size();
+  }
+  if (mirrored != cells_.size()) return false;
+  // bucket_pos: the exact inverse of the bucket contents.
+  for (const EntryRef& entry : cells_) {
+    const std::size_t slot = FindSlot(PackEntryRef(entry));
+    if (slot == table_.size()) return false;
+    if (entry.node.value() >= shard_of_->size()) return false;
+    const std::vector<ShardCell>& bucket = buckets_[ShardOfNode(entry.node)];
+    const std::uint32_t bpos = table_[slot].bucket_pos;
+    if (bpos >= bucket.size() || !(bucket[bpos].entry == entry)) return false;
   }
   return true;
 }

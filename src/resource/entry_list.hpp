@@ -10,12 +10,22 @@
 // Cells live in a contiguous vector: push is O(1), membership removal and
 // all searches are counted linear traversals — the same step costs the
 // paper's metrics measure on its linked lists, with better locality.
+//
+// Two host-side accelerations ride underneath without changing any charge
+// (DESIGN.md §14):
+//   - positions are kept in an open-addressing flat map over the packed
+//     8-byte EntryRef instead of an unordered_map, so the mutation hot path
+//     allocates no hash nodes;
+//   - under the sharded kernel the list can be *partitioned*: every cell is
+//     mirrored into the bucket of its node's shard together with its global
+//     position, so a shard can scan only its own members while tie-breaks
+//     (and Remove charges) still follow the one global cell order.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "resource/node.hpp"
@@ -36,11 +46,16 @@ struct EntryRef {
 
   friend constexpr bool operator==(EntryRef, EntryRef) = default;
 };
+static_assert(sizeof(EntryRef) == 8, "EntryRef must stay 8 bytes (packed)");
+
+/// Packs an EntryRef into the 8-byte key the flat position map hashes.
+constexpr std::uint64_t PackEntryRef(EntryRef e) {
+  return (static_cast<std::uint64_t>(e.node.value()) << 32) | e.slot;
+}
 
 struct EntryRefHash {
   std::size_t operator()(EntryRef e) const noexcept {
-    return std::hash<std::uint64_t>{}(
-        (static_cast<std::uint64_t>(e.node.value()) << 32) | e.slot);
+    return std::hash<std::uint64_t>{}(PackEntryRef(e));
   }
 };
 
@@ -52,6 +67,13 @@ struct EntryRefHash {
 /// Entries must be unique (the store never double-adds).
 class EntryList {
  public:
+  /// One partitioned cell: the entry plus its current position in the
+  /// global cell vector (the tie-break and charge key).
+  struct ShardCell {
+    EntryRef entry;
+    std::uint32_t gpos = 0;
+  };
+
   /// O(1) insertion (push-front semantics of a linked list).
   void Add(EntryRef entry, WorkloadMeter& meter);
 
@@ -62,6 +84,25 @@ class EntryList {
   /// Counted linear membership test.
   [[nodiscard]] bool Contains(EntryRef entry, WorkloadMeter& meter,
                               StepKind kind) const;
+
+  /// Pre-sizes the cell vector and the flat position map for `n` entries
+  /// (reservation discipline, DESIGN.md §13). Never changes contents.
+  void Reserve(std::size_t n);
+
+  /// Mirrors every cell into per-shard buckets keyed by
+  /// `(*shard_of)[node id]` so the sharded kernel can scan one shard's
+  /// members only. `shard_of` must outlive the list (the ShardEngine's
+  /// node-to-shard map; the vector object's address must stay stable).
+  /// Passing nullptr drops the partition. Rebuilds from the current cells,
+  /// so it can be toggled at any point; charges nothing.
+  void SetPartition(const std::vector<std::uint32_t>* shard_of,
+                    std::size_t shards);
+  [[nodiscard]] bool partitioned() const { return shard_of_ != nullptr; }
+  [[nodiscard]] std::size_t shard_count() const { return buckets_.size(); }
+  [[nodiscard]] const std::vector<ShardCell>& shard_cells(
+      std::size_t shard) const {
+    return buckets_[shard];
+  }
 
   /// Visits every entry (one counted step each) and returns the first for
   /// which `pred(entry)` is true, or nullopt. The predicate itself may add
@@ -98,6 +139,26 @@ class EntryList {
     return best;
   }
 
+  /// FindMin variant whose key also sees the cell position — the heuristic
+  /// policies' Class A rank depends on the scan position (first-fit) or on
+  /// stateful policy state, and routing them through here keeps raw cell
+  /// iteration out of the schedulers (the entry-cells-iteration lint rule).
+  template <typename Key>
+  [[nodiscard]] std::optional<EntryRef> FindMinPositional(
+      Key&& key, WorkloadMeter& meter, StepKind kind) const {
+    std::optional<EntryRef> best;
+    long long best_key = 0;
+    for (std::size_t pos = 0; pos < cells_.size(); ++pos) {
+      meter.Add(kind);
+      const long long k = key(cells_[pos], pos);
+      if (!best || k < best_key) {
+        best = cells_[pos];
+        best_key = k;
+      }
+    }
+    return best;
+  }
+
   [[nodiscard]] std::size_t size() const { return cells_.size(); }
   [[nodiscard]] bool empty() const { return cells_.empty(); }
   [[nodiscard]] const std::vector<EntryRef>& cells() const { return cells_; }
@@ -106,6 +167,11 @@ class EntryList {
   /// (consistency checks).
   [[nodiscard]] bool PositionsConsistent() const;
 
+  /// True when the shard buckets mirror the cell vector exactly: every
+  /// cell in precisely its node's shard bucket with the right global
+  /// position, no strays. Vacuously true unpartitioned.
+  [[nodiscard]] bool PartitionConsistent() const;
+
  private:
   // The auditor reconstructs ground truth from the raw cells; the
   // corruptor breaks them on purpose in tests. Neither is part of the
@@ -113,8 +179,33 @@ class EntryList {
   friend class ::dreamsim::analysis::StructureAuditor;
   friend class ::dreamsim::analysis::StructureCorruptor;
 
+  /// Open-addressing (linear probing, backward-shift deletion) map from
+  /// packed EntryRef to its cell position and shard-bucket position. The
+  /// all-ones key doubles as the empty sentinel; it packs the (invalid
+  /// node, invalid slot) pair, which no live entry ever carries.
+  struct PosSlot {
+    static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+    std::uint64_t key = kEmptyKey;
+    std::uint32_t pos = 0;
+    std::uint32_t bucket_pos = 0;
+  };
+
+  [[nodiscard]] std::size_t ProbeStart(std::uint64_t key) const;
+  /// Index of `key`'s slot, or the table size when absent.
+  [[nodiscard]] std::size_t FindSlot(std::uint64_t key) const;
+  /// Slot for inserting `key` (grows + rehashes at 11/16 load).
+  [[nodiscard]] PosSlot& InsertSlot(std::uint64_t key);
+  void EraseSlot(std::size_t index);
+  void Rehash(std::size_t capacity);
+  [[nodiscard]] std::uint32_t ShardOfNode(NodeId node) const {
+    return (*shard_of_)[node.value()];
+  }
+
   std::vector<EntryRef> cells_;
-  std::unordered_map<EntryRef, std::size_t, EntryRefHash> positions_;
+  std::vector<PosSlot> table_;  // power-of-two size; empty vector = empty map
+  std::size_t table_used_ = 0;
+  const std::vector<std::uint32_t>* shard_of_ = nullptr;  // node id -> shard
+  std::vector<std::vector<ShardCell>> buckets_;  // shard -> its cells
 };
 
 }  // namespace dreamsim::resource

@@ -362,42 +362,64 @@ std::optional<NodeId> ShardEngine::RankedHost(Area needed_area, HostRank rank,
 }
 
 std::optional<EntryRef> ShardEngine::BestIdleEntry(
-    const std::vector<EntryRef>& cells) const {
-  if (cells.empty()) return std::nullopt;
+    const EntryList& list) const {
+  if (list.empty()) return std::nullopt;
   const std::vector<Node>& nodes = *nodes_;
+  const std::size_t shards = members_.size();
+  if (list.size() < kParallelIdleScanMin || !list.partitioned() ||
+      list.shard_count() != shards) {
+    // Below the fork-join break-even (or without a partition) the
+    // sequential reference scan wins; cell order ascends in position, so
+    // strict `<` already keeps the earliest tie.
+    const std::vector<EntryRef>& cells =
+        list.cells();  // lint: allow(entry-cells-iteration)
+    std::size_t best_pos = 0;
+    Area best_avail = 0;
+    bool any = false;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Area avail = nodes[cells[i].node.value()].available_area();
+      if (!any || avail < best_avail) {
+        any = true;
+        best_avail = avail;
+        best_pos = i;
+      }
+    }
+    return cells[best_pos];
+  }
+  // Each shard scans only its own partition bucket. Bucket order is not
+  // global order (swap-removal permutes it), so ties inside a shard break
+  // on the carried global position explicitly.
   struct Best {
     bool any = false;
     Area avail = 0;
-    std::size_t pos = 0;
+    std::uint32_t gpos = 0;
+    EntryRef entry;
   };
-  const std::size_t chunks = members_.size();
-  if (cells.size() < kParallelIdleScanMin || chunks < 2) {
+  std::vector<Best> bests(shards);
+  pool_->Run(shards, [&](std::size_t s) {
     Best b;
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      const Area avail = nodes[cells[i].node.value()].available_area();
-      if (!b.any || avail < b.avail) b = {true, avail, i};
+    for (const EntryList::ShardCell& c : list.shard_cells(s)) {
+      const Area avail = nodes[c.entry.node.value()].available_area();
+      if (!b.any || avail < b.avail ||
+          (avail == b.avail && c.gpos < b.gpos)) {
+        b = {true, avail, c.gpos, c.entry};
+      }
     }
-    return cells[b.pos];
-  }
-  std::vector<Best> bests(chunks);
-  pool_->Run(chunks, [&](std::size_t c) {
-    const std::size_t lo = cells.size() * c / chunks;
-    const std::size_t hi = cells.size() * (c + 1) / chunks;
-    Best b;
-    for (std::size_t i = lo; i < hi; ++i) {
-      const Area avail = nodes[cells[i].node.value()].available_area();
-      if (!b.any || avail < b.avail) b = {true, avail, i};
-    }
-    bests[c] = b;
+    bests[s] = b;
   });
-  // Chunk c+1 holds strictly later positions than chunk c, so a fixed
-  // chunk-order reduce with strict `<` keeps the earliest position among
-  // ties — the FindMin winner.
-  Best win;
+  // Fixed shard-order merge on (available area, global cell position) —
+  // global properties of the winning entry, so the result matches the
+  // sequential FindMin at any K and thread count.
+  const Best* win = nullptr;
   for (const Best& b : bests) {
-    if (b.any && (!win.any || b.avail < win.avail)) win = b;
+    if (!b.any) continue;
+    if (win == nullptr || b.avail < win->avail ||
+        (b.avail == win->avail && b.gpos < win->gpos)) {
+      win = &b;
+    }
   }
-  return cells[win.pos];
+  if (win == nullptr) return std::nullopt;
+  return win->entry;
 }
 
 Steps ShardEngine::LiveSlotPrefixBefore(FamilyId family,

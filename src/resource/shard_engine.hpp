@@ -93,12 +93,16 @@ class ShardEngine {
                                                  HostRank rank,
                                                  FamilyId family);
 
-  /// FindBestIdleEntry over one idle list: chunked parallel scan of the
-  /// cells with a fixed chunk-order merge on (available area, cell
-  /// position). Not part of the decision bundle (keyed by config, and it
-  /// has no index fast path in either kernel).
+  /// FindBestIdleEntry over one idle list: each shard scans its own
+  /// partition bucket of the list in parallel, then a fixed shard-order
+  /// merge on (available area, global cell position) reduces the local
+  /// winners — the global position carried by every ShardCell makes the
+  /// tie-break identical to the sequential FindMin. Falls back to the
+  /// sequential cell scan below kParallelIdleScanMin or when the list is
+  /// not partitioned. Not part of the decision bundle (keyed by config,
+  /// and it has no index fast path in either kernel).
   [[nodiscard]] std::optional<EntryRef> BestIdleEntry(
-      const std::vector<EntryRef>& cells) const;
+      const EntryList& list) const;
 
   // --- Analytic-charge helpers (Algorithm 1 slot-visit terms) ---
 
@@ -125,6 +129,12 @@ class ShardEngine {
   }
   [[nodiscard]] std::uint32_t shard_of(std::uint32_t id) const {
     return shard_of_[id];
+  }
+  /// The node-id -> shard map the EntryList partitions key off. The vector
+  /// object lives as long as the engine (the store hands its address to
+  /// every list via EntryList::SetPartition).
+  [[nodiscard]] const std::vector<std::uint32_t>& shard_map() const {
+    return shard_of_;
   }
   [[nodiscard]] const StoreIndex& shard_index(std::size_t shard) const {
     return *indexes_[shard];

@@ -83,6 +83,8 @@ void ResourceStore::SetShards(std::size_t shards, std::size_t threads,
                               ShardBy by) {
   if (shards <= 1) {
     shard_.reset();
+    for (EntryList& l : idle_lists_) l.SetPartition(nullptr, 0);
+    for (EntryList& l : busy_lists_) l.SetPartition(nullptr, 0);
     return;
   }
   shard_ = std::make_unique<ShardEngine>(configs_, shards, threads, by);
@@ -91,6 +93,12 @@ void ResourceStore::SetShards(std::size_t shards, std::size_t threads,
   for (const Node& n : nodes_) {
     shard_->AddNode(n, busy_area_[n.id().value()]);
   }
+  // Partition every per-config list the same way the node population is
+  // partitioned, so BestIdleEntry can scan shard buckets (DESIGN.md §14).
+  // The engine's shard map covers every node by now, and its vector object
+  // outlives the lists' pointers (reset above clears them first).
+  for (EntryList& l : idle_lists_) l.SetPartition(&shard_->shard_map(), shards);
+  for (EntryList& l : busy_lists_) l.SetPartition(&shard_->shard_map(), shards);
 }
 
 bool ResourceStore::ShardAnswers() const {
@@ -151,6 +159,18 @@ void ResourceStore::InitNodes(const NodeGenParams& params, Rng& rng) {
     AddNode(area, family, caps, delay, params.contiguous_placement,
             params.placement);
   }
+  // Reservation discipline (DESIGN.md §13): size each per-config list for
+  // the population it will plausibly hold. Entries spread across the
+  // catalogue, so a couple of list slots per node per config amortizes the
+  // growth reallocations without over-committing memory at large N
+  // (micro_simulator's mutation benches measure the effect).
+  const std::size_t per_list = std::min<std::size_t>(
+      static_cast<std::size_t>(params.count),
+      static_cast<std::size_t>(params.count) * 2 /
+              std::max<std::size_t>(configs_.size(), 1) +
+          16);
+  for (EntryList& l : idle_lists_) l.Reserve(per_list);
+  for (EntryList& l : busy_lists_) l.Reserve(per_list);
 }
 
 Node& ResourceStore::node(NodeId id) {
@@ -187,10 +207,10 @@ EntryList& ResourceStore::busy_list_mut(ConfigId config) {
 std::optional<EntryRef> ResourceStore::FindBestIdleEntry(ConfigId config) {
   const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
   if (ShardAnswers()) {
-    // Chunked parallel scan; the charge is what FindMin pays per cell.
-    const auto& cells = idle_list(config).cells();
-    meter_.Add(StepKind::kSchedulingSearch, cells.size());
-    return shard_->BestIdleEntry(cells);
+    // Per-shard bucket scan; the charge is what FindMin pays per cell.
+    const EntryList& list = idle_list(config);
+    meter_.Add(StepKind::kSchedulingSearch, list.size());
+    return shard_->BestIdleEntry(list);
   }
   return idle_list(config).FindMin(
       [this](EntryRef e) {
@@ -685,6 +705,7 @@ std::vector<std::string> ResourceStore::ValidateConsistency() const {
 
   // Every list cell must reference a live slot in the matching state.
   for (std::size_t cid = 0; cid < idle_lists_.size(); ++cid) {
+    // lint: allow(entry-cells-iteration) — ground-truth sweep
     for (const EntryRef& e : idle_lists_[cid].cells()) {
       const Node& n = node(e.node);
       if (!n.SlotLive(e.slot) || !n.Slot(e.slot).idle() ||
@@ -694,6 +715,7 @@ std::vector<std::string> ResourceStore::ValidateConsistency() const {
             e.node.value(), e.slot));
       }
     }
+    // lint: allow(entry-cells-iteration) — ground-truth sweep
     for (const EntryRef& e : busy_lists_[cid].cells()) {
       const Node& n = node(e.node);
       if (!n.SlotLive(e.slot) || n.Slot(e.slot).idle() ||
@@ -708,6 +730,12 @@ std::vector<std::string> ResourceStore::ValidateConsistency() const {
     }
     if (!busy_lists_[cid].PositionsConsistent()) {
       violations.push_back(Format("busy list {}: position map stale", cid));
+    }
+    if (!idle_lists_[cid].PartitionConsistent()) {
+      violations.push_back(Format("idle list {}: shard partition stale", cid));
+    }
+    if (!busy_lists_[cid].PartitionConsistent()) {
+      violations.push_back(Format("busy list {}: shard partition stale", cid));
     }
   }
 

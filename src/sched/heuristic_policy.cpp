@@ -80,19 +80,16 @@ Decision HeuristicPolicy::Schedule(const resource::Task& task,
     return d;
   };
 
-  // Class A: reuse an idle entry already configured with cfg.
+  // Class A: reuse an idle entry already configured with cfg. The rank can
+  // depend on the scan position (first-fit) or mutate policy state
+  // (random-fit), so the scan runs through the positional FindMin — one
+  // counted step and one Rank call per cell, ties to the earliest.
   {
-    std::optional<EntryRef> best;
-    std::int64_t best_rank = 0;
-    std::size_t position = 0;
-    for (const EntryRef& e : store.idle_list(cfg.id).cells()) {
-      store.meter().Add(StepKind::kSchedulingSearch);
-      const std::int64_t rank = Rank(store.node(e.node), position++);
-      if (!best || rank < best_rank) {
-        best = e;
-        best_rank = rank;
-      }
-    }
+    const auto best = store.idle_list(cfg.id).FindMinPositional(
+        [&](EntryRef e, std::size_t position) {
+          return static_cast<long long>(Rank(store.node(e.node), position));
+        },
+        store.meter(), StepKind::kSchedulingSearch);
     if (best) return finish(*best, 0, PlacementKind::kAllocation);
   }
 

@@ -1,0 +1,238 @@
+// Twin-fuzz for the partitioned EntryLists (DESIGN.md §14): a partitioned
+// list and a plain one driven by the same operation stream must stay
+// bit-identical in results, WorkloadMeter charges, and cell order — and a
+// shard-bucket merge (the sharded kernel's BestIdleEntry shape) must pick
+// the same winner as the global FindMin. A second suite runs the same twin
+// at store level, with shard counts and thread counts in play.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "resource/entry_list.hpp"
+#include "resource/shard_engine.hpp"
+#include "resource/store.hpp"
+#include "util/rng.hpp"
+
+namespace dreamsim::resource {
+namespace {
+
+EntryRef E(std::uint32_t node, SlotIndex slot) {
+  return EntryRef{NodeId{node}, slot};
+}
+
+/// Deterministic pseudo-area per entry so FindMin has meaningful ties.
+long long KeyOf(EntryRef e) {
+  return static_cast<long long>((e.node.value() * 37 + e.slot * 11) % 23);
+}
+
+/// The sharded kernel's merge shape at list level: per-bucket minimum on
+/// (key, global position), then a fixed shard-order reduce. Must equal the
+/// global FindMin winner for any key.
+std::optional<EntryRef> BucketMin(const EntryList& list) {
+  std::optional<EntryRef> best;
+  long long best_key = 0;
+  std::uint32_t best_gpos = 0;
+  for (std::size_t s = 0; s < list.shard_count(); ++s) {
+    for (const EntryList::ShardCell& c : list.shard_cells(s)) {
+      const long long k = KeyOf(c.entry);
+      if (!best || k < best_key || (k == best_key && c.gpos < best_gpos)) {
+        best = c.entry;
+        best_key = k;
+        best_gpos = c.gpos;
+      }
+    }
+  }
+  return best;
+}
+
+TEST(EntryListTwin, PartitionedListIsBitIdenticalToPlainAcrossSeeds) {
+  constexpr std::uint32_t kNodes = 40;
+  constexpr std::size_t kShards = 3;
+  std::vector<std::uint32_t> shard_of(kNodes);
+  for (std::uint32_t id = 0; id < kNodes; ++id) shard_of[id] = id % kShards;
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed * 7919);
+    EntryList plain;
+    EntryList sharded;
+    sharded.SetPartition(&shard_of, kShards);
+    WorkloadMeter plain_meter;
+    WorkloadMeter sharded_meter;
+
+    for (int op = 0; op < 2000; ++op) {
+      const EntryRef e = E(static_cast<std::uint32_t>(
+                               rng.uniform_int(0, kNodes - 1)),
+                           static_cast<SlotIndex>(rng.uniform_int(0, 3)));
+      if (rng.uniform_int(0, 9) < 6) {
+        // The store never double-adds; mirror that contract here (the
+        // membership probe is itself a counted twin operation).
+        const bool present =
+            plain.Contains(e, plain_meter, StepKind::kHousekeeping);
+        ASSERT_EQ(present,
+                  sharded.Contains(e, sharded_meter, StepKind::kHousekeeping));
+        if (!present) {
+          plain.Add(e, plain_meter);
+          sharded.Add(e, sharded_meter);
+        }
+      } else {
+        // Remove of present and absent entries alike (miss charges differ
+        // from hits, and both must match).
+        ASSERT_EQ(plain.Remove(e, plain_meter),
+                  sharded.Remove(e, sharded_meter))
+            << "seed " << seed << " op " << op;
+      }
+      ASSERT_EQ(plain_meter.total_workload(), sharded_meter.total_workload())
+          << "seed " << seed << " op " << op;
+      ASSERT_EQ(plain_meter.housekeeping_steps_total(),
+                sharded_meter.housekeeping_steps_total())
+          << "seed " << seed << " op " << op;
+      ASSERT_EQ(plain.size(), sharded.size());
+
+      if (op % 50 != 0) continue;
+      // The partitioned list's global cell order must be untouched by the
+      // bucket mirroring, so every scan answers identically...
+      ASSERT_TRUE(sharded.PositionsConsistent());
+      ASSERT_TRUE(sharded.PartitionConsistent());
+      const auto a = plain.FindMin([](EntryRef x) { return KeyOf(x); },
+                                   [](EntryRef) { return true; }, plain_meter,
+                                   StepKind::kSchedulingSearch);
+      const auto b = sharded.FindMin(
+          [](EntryRef x) { return KeyOf(x); }, [](EntryRef) { return true; },
+          sharded_meter, StepKind::kSchedulingSearch);
+      ASSERT_EQ(a, b) << "seed " << seed << " op " << op;
+      // ...and the shard-bucket merge must pick the same winner as the
+      // global FindMin (the BestIdleEntry equivalence, minus the pool).
+      ASSERT_EQ(BucketMin(sharded), a) << "seed " << seed << " op " << op;
+      ASSERT_EQ(plain_meter.scheduling_steps_total(),
+                sharded_meter.scheduling_steps_total());
+
+      if (op == 1000) {
+        // Re-partitioning mid-stream rebuilds the buckets from the current
+        // cells without disturbing anything observable.
+        sharded.SetPartition(nullptr, 0);
+        ASSERT_FALSE(sharded.partitioned());
+        sharded.SetPartition(&shard_of, kShards);
+        ASSERT_TRUE(sharded.PartitionConsistent());
+      }
+    }
+  }
+}
+
+TEST(EntryListTwin, ReserveNeverChangesContentsOrCharges) {
+  EntryList reserved;
+  EntryList bare;
+  WorkloadMeter mr;
+  WorkloadMeter mb;
+  reserved.Reserve(512);
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    reserved.Add(E(i, 0), mr);
+    bare.Add(E(i, 0), mb);
+  }
+  EXPECT_EQ(mr.total_workload(), mb.total_workload());
+  // lint: allow(entry-cells-iteration) — twin equality needs raw storage
+  EXPECT_EQ(reserved.cells(), bare.cells());
+  EXPECT_TRUE(reserved.PositionsConsistent());
+}
+
+// --- Store-level twin: sharded kernel vs sequential, large lists ------------
+
+/// Enough nodes that the config-0 idle list crosses the parallel-scan
+/// threshold (kParallelIdleScanMin = 2048), so the twin exercises the real
+/// per-shard bucket broadcast, not just the serial fallback.
+constexpr int kTwinNodes = 2300;
+
+ConfigCatalogue TwinCatalogue() {
+  ConfigCatalogue c;
+  for (const Area a : {300, 500, 800}) {
+    Configuration cfg;
+    cfg.required_area = a;
+    cfg.config_time = 10;
+    c.Add(cfg);
+  }
+  return c;
+}
+
+ResourceStore TwinStore(Rng& rng) {
+  ResourceStore store(TwinCatalogue());
+  for (int i = 0; i < kTwinNodes; ++i) {
+    store.AddNode(rng.uniform_int(1000, 4000));
+  }
+  return store;
+}
+
+TEST(EntryListTwin, ShardedStoreMatchesSequentialPerDecision) {
+  for (const bool indexed : {false, true}) {
+    Rng node_rng_a(4242);
+    Rng node_rng_b(4242);
+    ResourceStore seq = TwinStore(node_rng_a);
+    ResourceStore sharded = TwinStore(node_rng_b);
+    seq.SetIndexed(indexed);
+    sharded.SetIndexed(indexed);
+    // Two pool threads even on a single-core host, so scan mode runs the
+    // real parallel bucket broadcast rather than the serial fallback.
+    sharded.SetShards(4, 2);
+
+    // Saturate config 0 past the parallel-scan threshold.
+    std::vector<EntryRef> idle;
+    for (int i = 0; i < kTwinNodes; ++i) {
+      const NodeId id{static_cast<std::uint32_t>(i)};
+      const EntryRef a = seq.Configure(id, ConfigId{0});
+      const EntryRef b = sharded.Configure(id, ConfigId{0});
+      ASSERT_EQ(a, b);
+      idle.push_back(a);
+    }
+    ASSERT_GE(seq.idle_list(ConfigId{0}).size(), 2048u);
+
+    // Fuzz: queries interleaved with churn; every decision and every meter
+    // total must agree between the kernels after each operation.
+    Rng rng(99991);
+    std::vector<EntryRef> busy;
+    for (int op = 0; op < 1500; ++op) {
+      const int choice = rng.uniform_int(0, 9);
+      if (choice < 4) {
+        const auto a = seq.FindBestIdleEntry(ConfigId{0});
+        const auto b = sharded.FindBestIdleEntry(ConfigId{0});
+        ASSERT_EQ(a, b) << "op " << op;
+        if (a && rng.uniform_int(0, 1) == 0) {
+          const TaskId task{static_cast<std::uint32_t>(op)};
+          seq.AssignTask(*a, task);
+          sharded.AssignTask(*a, task);
+          busy.push_back(*a);
+          idle.erase(std::find(idle.begin(), idle.end(), *a));
+        }
+      } else if (choice < 7 && !busy.empty()) {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(busy.size()) - 1));
+        const EntryRef e = busy[pick];
+        ASSERT_EQ(seq.ReleaseTask(e), sharded.ReleaseTask(e));
+        busy.erase(busy.begin() + static_cast<std::ptrdiff_t>(pick));
+        idle.push_back(e);
+      } else if (!idle.empty()) {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(idle.size()) - 1));
+        const EntryRef e = idle[pick];
+        seq.ReclaimSlot(e);
+        sharded.ReclaimSlot(e);
+        idle.erase(idle.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+      ASSERT_EQ(seq.meter().total_workload(),
+                sharded.meter().total_workload())
+          << "op " << op;
+      ASSERT_EQ(seq.meter().scheduling_steps_total(),
+                sharded.meter().scheduling_steps_total())
+          << "op " << op;
+      ASSERT_EQ(seq.meter().housekeeping_steps_total(),
+                sharded.meter().housekeeping_steps_total())
+          << "op " << op;
+    }
+    const auto violations = sharded.ValidateConsistency();
+    EXPECT_TRUE(violations.empty())
+        << "first violation: " << (violations.empty() ? "" : violations[0]);
+  }
+}
+
+}  // namespace
+}  // namespace dreamsim::resource

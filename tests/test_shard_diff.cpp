@@ -209,7 +209,12 @@ INSTANTIATE_TEST_SUITE_P(
         ShardCase{sched::ReconfigMode::kPartial, PolicyChoice::kDreamSim,
                   true, resource::ShardBy::kRoundRobin, 1, false, 3000, 600},
         ShardCase{sched::ReconfigMode::kFull, PolicyChoice::kDreamSim, false,
-                  resource::ShardBy::kRoundRobin, 1, false, 3000, 600}));
+                  resource::ShardBy::kRoundRobin, 1, false, 3000, 600},
+        // Family partition + partial mode + faults in scan flavour: the
+        // partitioned EntryLists see family-skewed buckets while failures
+        // churn them (and the step audit checks fig3.partition each time).
+        ShardCase{sched::ReconfigMode::kPartial, PolicyChoice::kDreamSim,
+                  false, resource::ShardBy::kFamily, 3, false, 3000, 600}));
 
 }  // namespace
 }  // namespace dreamsim

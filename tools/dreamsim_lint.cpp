@@ -1,11 +1,14 @@
 // dreamsim_lint — repo-specific structural lint for the DReAMSim tree.
 //
 // Plain-text C++ source analysis (no libclang): comments and string
-// literals are blanked, brace structure is recovered by matching, and five
+// literals are blanked, brace structure is recovered by matching, and the
 // repo rules are enforced on what remains:
 //
-//   list-internals             EntryList's cells_/positions_ are touched
-//                              only by entry_list.{hpp,cpp}.
+//   list-internals             EntryList's cells_/table_/table_used_ are
+//                              touched only by entry_list.{hpp,cpp}.
+//                              (buckets_/shard_of_ collide with other
+//                              structures' member names and are covered by
+//                              entry-cells-iteration instead.)
 //   store-internals            ResourceStore's intrusive mirrors
 //                              (idle_lists_, busy_lists_, blank_pos_,
 //                              busy_area_, ...) are touched only by
@@ -20,11 +23,20 @@
 //   unordered-writer-iteration report/trace writers never range-for over
 //                              unordered members (hash order would leak
 //                              into output bytes; collect + sort instead).
-//   unordered-merge            sharded-kernel sources never range-for over
-//                              unordered members (a cross-shard reduction
-//                              seeded by hash order would break the
-//                              deterministic-merge contract; reduce in
-//                              fixed shard order over ordered state).
+//   unordered-merge            sharded-kernel sources (shard_engine and
+//                              the partitioned entry_list alike) never
+//                              range-for over unordered members (a
+//                              cross-shard reduction seeded by hash order
+//                              would break the deterministic-merge
+//                              contract; reduce in fixed shard order over
+//                              ordered state).
+//   entry-cells-iteration      EntryList's raw cell storage (.cells()) is
+//                              read only by entry_list itself and the
+//                              structure auditor/corruptor — every other
+//                              consumer goes through the counted queries
+//                              or the shard-bucket API, so scans cannot
+//                              dodge the modeled-effort charges or the
+//                              merge-order contract.
 //
 // Suppressions: `// lint: allow(<rule>)` on the finding's line or the line
 // above; `// lint: allow-file(<rule>)` anywhere in the file. Exit status 1
@@ -376,7 +388,45 @@ bool IsWriterFile(const std::string& path) {
 // --- Rule 6: hash-order reductions in the sharded kernel --------------------
 
 bool IsShardFile(const std::string& path) {
-  return Stem(path).find("shard") != std::string::npos;
+  // The partitioned EntryList carries shard-local merge state too: its
+  // bucket maintenance and any merge helpers live under the same
+  // fixed-shard-order contract as shard_engine.
+  const std::string stem = Stem(path);
+  return stem.find("shard") != std::string::npos ||
+         stem.find("entry_list") != std::string::npos ||
+         stem.find("entrylist") != std::string::npos;
+}
+
+// --- Rule 7: raw EntryList cell iteration ---------------------------------
+
+/// Stems allowed to read EntryList::cells() directly: the list itself and
+/// the audit tooling that diffs it against ground truth.
+bool MayTouchEntryCells(const std::string& path) {
+  const std::string stem = Stem(path);
+  return stem == "entry_list" || stem == "structure_auditor" ||
+         stem == "corruptor";
+}
+
+void CheckEntryCellsIteration(const Source& src,
+                              std::vector<Finding>& findings) {
+  if (MayTouchEntryCells(src.path)) return;
+  for (const std::size_t hit : FindWord(src.clean, "cells")) {
+    // Member call only: `.cells(` / `->cells(`.
+    const bool member =
+        (hit >= 1 && src.clean[hit - 1] == '.') ||
+        (hit >= 2 && src.clean[hit - 2] == '-' && src.clean[hit - 1] == '>');
+    if (!member) continue;
+    std::size_t after = hit + 5;
+    while (after < src.clean.size() &&
+           std::isspace(static_cast<unsigned char>(src.clean[after]))) {
+      ++after;
+    }
+    if (after >= src.clean.size() || src.clean[after] != '(') continue;
+    Report(findings, src, hit, "entry-cells-iteration",
+           "direct EntryList cells() access outside entry_list/auditor "
+           "bypasses the counted queries and the shard-bucket API; use "
+           "FindFirst/FindMin/shard_cells instead");
+  }
 }
 
 /// Member names declared as unordered containers in `clean`.
@@ -498,8 +548,11 @@ int main(int argc, char** argv) {
 
   // The lint's own implementation spells every banned token; it vouches
   // for itself the same way any other file would.
-  static const std::vector<std::string_view> kListInternals = {"cells_",
-                                                               "positions_"};
+  // buckets_ (also SusQueueIndex's) and shard_of_ (also ShardEngine's)
+  // would false-positive as whole-word tokens; the cells()-access rule
+  // covers the partition mirror's read surface instead.
+  static const std::vector<std::string_view> kListInternals = {
+      "cells_", "table_", "table_used_"};
   static const std::vector<std::string_view> kStoreInternals = {
       "idle_lists_",  "busy_lists_",  "blank_pos_",   "busy_area_",
       "failed_count_", "idle_list_mut", "busy_list_mut"};
@@ -524,6 +577,7 @@ int main(int argc, char** argv) {
                      kStoreInternals, "ResourceStore's private mirror state");
     CheckUnchargedQueries(src, findings);
     CheckNondeterminism(src, findings);
+    CheckEntryCellsIteration(src, findings);
     const auto slash = src.path.find_last_of('/');
     const std::string dir =
         slash == std::string::npos ? "" : src.path.substr(0, slash);
