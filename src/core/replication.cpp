@@ -58,15 +58,31 @@ const MetricSummary& ReplicationReport::Metric(std::string_view name) const {
   throw std::out_of_range(Format("no metric summary named '{}'", name));
 }
 
+ReplicationReport SummarizeReplications(std::vector<MetricsReport> runs) {
+  if (runs.empty()) {
+    throw std::invalid_argument("need at least one replication");
+  }
+  ReplicationReport report;
+  report.replications = runs.size();
+  report.runs = std::move(runs);
+  for (const MetricExtractor& extractor : kExtractors) {
+    MetricSummary summary;
+    summary.name = extractor.name;
+    for (const MetricsReport& run : report.runs) {
+      summary.stats.Add(extractor.get(run));
+    }
+    report.metrics.push_back(std::move(summary));
+  }
+  return report;
+}
+
 ReplicationReport RunReplications(const SimulationConfig& base,
                                   std::size_t replications,
                                   unsigned threads) {
   if (replications == 0) {
     throw std::invalid_argument("need at least one replication");
   }
-  ReplicationReport report;
-  report.replications = replications;
-  report.runs.resize(replications);
+  std::vector<MetricsReport> runs(replications);
 
   std::atomic<std::size_t> next{0};
   const auto worker = [&] {
@@ -77,7 +93,7 @@ ReplicationReport RunReplications(const SimulationConfig& base,
       config.seed = DeriveSeed(base.seed, i);
       config.label = Format("{}#{}", base.label, i);
       Simulator sim(std::move(config));
-      report.runs[i] = sim.Run();
+      runs[i] = sim.Run();
     }
   };
 
@@ -93,16 +109,7 @@ ReplicationReport RunReplications(const SimulationConfig& base,
     pool.reserve(worker_count);
     for (unsigned t = 0; t < worker_count; ++t) pool.emplace_back(worker);
   }
-
-  for (const MetricExtractor& extractor : kExtractors) {
-    MetricSummary summary;
-    summary.name = extractor.name;
-    for (const MetricsReport& run : report.runs) {
-      summary.stats.Add(extractor.get(run));
-    }
-    report.metrics.push_back(std::move(summary));
-  }
-  return report;
+  return SummarizeReplications(std::move(runs));
 }
 
 std::string RenderReplicationTable(const ReplicationReport& report) {

@@ -47,6 +47,13 @@ struct ReplicationReport {
                                                 std::size_t replications,
                                                 unsigned threads = 0);
 
+/// Reduces already-materialized per-run reports (in seed order) to the
+/// standard Table I metric summaries — the reduction RunReplications()
+/// applies, exposed so the sweep driver can summarize each grid point.
+/// Throws std::invalid_argument on an empty run list.
+[[nodiscard]] ReplicationReport SummarizeReplications(
+    std::vector<MetricsReport> runs);
+
 /// Renders the summary as a fixed-width table (metric, mean, ±ci95,
 /// stddev, min, max).
 [[nodiscard]] std::string RenderReplicationTable(const ReplicationReport& report);

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "analysis/audit_mode.hpp"
 #include "core/fault_model.hpp"
@@ -16,6 +17,7 @@
 #include "resource/store.hpp"
 #include "sched/policy.hpp"
 #include "workload/generator.hpp"
+#include "workload/task_classes.hpp"
 
 namespace dreamsim::core {
 
@@ -57,6 +59,18 @@ struct SimulationConfig {
 
   // --- Workload (Table II) ---
   workload::TaskGenParams tasks{};          // [1, 50] gaps, [100, 1e5] times
+
+  // --- Scenario (src/scenario; both empty = the flag-driven path above) ---
+  /// Heterogeneous device families (`device class:` blocks). Non-empty
+  /// replaces `nodes`: the store generates each class in order with class
+  /// index == FamilyId, and ship_bitstreams gives each family its own
+  /// bitstream-store capacity (DeviceClassParams::bitstream_store).
+  std::vector<resource::DeviceClassParams> device_classes;
+  /// Concurrent task classes (`task class:` blocks). Non-empty replaces
+  /// `tasks`: Run() multiplexes the per-class arrival streams into one
+  /// timeline and releases chain successors on predecessor completion. A
+  /// single plain steady class is bit-identical to the `tasks` path.
+  std::vector<workload::TaskClassParams> task_classes;
 
   // --- Scheduling ---
   sched::ReconfigMode mode = sched::ReconfigMode::kPartial;
@@ -138,6 +152,13 @@ struct SimulationConfig {
 
   /// Free-form label carried into reports.
   std::string label;
+
+  /// Scenario identity when this config was compiled from a scenario file:
+  /// the `name:` of the `simulation:` block and the canonical FNV-1a 64
+  /// hash (scenario::ScenarioHash). Empty for flag-driven runs. Neither
+  /// affects simulation behaviour.
+  std::string scenario_name;
+  std::string scenario_hash;
 };
 
 }  // namespace dreamsim::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/profiler.hpp"
@@ -23,8 +24,23 @@ constexpr std::uint64_t kStreamFaults = 5;
 
 resource::ConfigCatalogue BuildConfigs(const SimulationConfig& config,
                                        Rng& rng) {
-  const ptype::Catalogue ptypes = ptype::Catalogue::Default();
-  return resource::ConfigCatalogue::Generate(config.configs, ptypes, rng);
+  const ptype::Catalogue all = ptype::Catalogue::Default();
+  if (config.configs.ptypes.empty()) {
+    return resource::ConfigCatalogue::Generate(config.configs, all, rng);
+  }
+  // Scenario-selected subset: re-register the named types in the listed
+  // order, so Sample() draws only from them (deterministically).
+  ptype::Catalogue selected;
+  for (const std::string& name : config.configs.ptypes) {
+    const auto id = all.FindByName(name);
+    if (!id.has_value()) {
+      throw std::invalid_argument(
+          Format("unknown processor type '{}' in config.configs.ptypes",
+                 name));
+    }
+    selected.Register(all.Get(*id));
+  }
+  return resource::ConfigCatalogue::Generate(config.configs, selected, rng);
 }
 
 }  // namespace
@@ -96,15 +112,31 @@ Simulator::Simulator(SimulationConfig config)
   store_.SetIndexed(config_.scheduler_index);
   store_.SetShards(config_.shards, config_.kernel_threads, config_.shard_by);
   suspension_.SetDrainIndexed(config_.drain_index);
-  Rng resource_rng(DeriveSeed(config_.seed, kStreamResources) ^ 0x5bd1e995u);
-  store_.InitNodes(config_.nodes, resource_rng);
+  if (config_.device_classes.empty()) {
+    Rng resource_rng(DeriveSeed(config_.seed, kStreamResources) ^ 0x5bd1e995u);
+    store_.InitNodes(config_.nodes, resource_rng);
+  } else {
+    store_.InitDeviceClasses(
+        config_.device_classes,
+        DeriveSeed(config_.seed, kStreamResources) ^ 0x5bd1e995u);
+  }
   // Pre-reserve the hot-path containers from the configured problem size so
   // the steady state never reallocates: every task contributes one arrival
   // and at most one completion to the event heap (plus a bounded number of
   // control events), and the suspension FIFO never outgrows its capacity or
   // the task population.
-  if (config_.tasks.total_tasks > 0) {
-    const auto tasks = static_cast<std::size_t>(config_.tasks.total_tasks);
+  std::size_t expected_tasks = 0;
+  if (!config_.task_classes.empty()) {
+    for (const workload::TaskClassParams& c : config_.task_classes) {
+      if (c.base.total_tasks > 0) {
+        expected_tasks += static_cast<std::size_t>(c.base.total_tasks);
+      }
+    }
+  } else if (config_.tasks.total_tasks > 0) {
+    expected_tasks = static_cast<std::size_t>(config_.tasks.total_tasks);
+  }
+  if (expected_tasks > 0) {
+    const std::size_t tasks = expected_tasks;
     kernel_.ReserveEvents(std::min<std::size_t>(2 * tasks + 64, 1u << 22));
     const std::size_t fifo_bound =
         config_.suspension_capacity > 0
@@ -125,9 +157,20 @@ Simulator::Simulator(SimulationConfig config)
     }
   }
   if (config_.ship_bitstreams) {
-    bitstream_caches_.assign(
-        store_.node_count(),
-        net::BitstreamCache(config_.bitstream_cache_capacity));
+    bitstream_caches_.reserve(store_.node_count());
+    for (std::size_t n = 0; n < store_.node_count(); ++n) {
+      Bytes capacity = config_.bitstream_cache_capacity;
+      if (!config_.device_classes.empty()) {
+        // FamilyId == device-class index; a class's bitstream_store
+        // overrides the run-wide capacity unless it inherits (< 0).
+        const FamilyId family =
+            store_.node(NodeId{static_cast<std::uint32_t>(n)}).family();
+        const resource::DeviceClassParams& dc =
+            config_.device_classes[family.value()];
+        if (dc.bitstream_store >= 0) capacity = dc.bitstream_store;
+      }
+      bitstream_caches_.emplace_back(capacity);
+    }
   }
 }
 
@@ -164,9 +207,58 @@ TaskId Simulator::SubmitTaskAt(const workload::GeneratedTask& task, Tick at) {
 }
 
 MetricsReport Simulator::Run() {
+  if (!config_.task_classes.empty()) {
+    const workload::MultiClassWorkload wl =
+        workload::GenerateMultiClassWorkload(
+            config_.task_classes, store_.configs(),
+            DeriveSeed(config_.seed, kStreamWorkload));
+    return RunMultiClass(wl);
+  }
   const workload::Workload wl =
       workload::GenerateWorkload(config_.tasks, store_.configs(), rng_);
   return RunWithWorkload(wl);
+}
+
+MetricsReport Simulator::RunMultiClass(const workload::MultiClassWorkload& wl) {
+  // Without chains the timeline is an ordinary workload; taking the exact
+  // same submission path keeps the scenario-vs-flags differential trivial.
+  if (wl.chains.empty()) return RunWithWorkload(wl.tasks);
+  if (ran_) throw std::logic_error("Simulator instances are single-use");
+
+  // Chain bookkeeping: map each in-flight chain task to its next link, and
+  // release that link at the predecessor's completion tick (the same hook
+  // discipline as the task-graph session).
+  struct ChainCursor {
+    std::size_t chain = 0;
+    std::size_t next_link = 0;
+  };
+  std::unordered_map<TaskId, ChainCursor> cursors;
+  cursors.reserve(wl.chains.size());
+  std::function<void(TaskId, Tick)> inner = std::move(completion_hook_);
+  SetCompletionHook([this, &wl, &cursors, inner](TaskId id, Tick now) {
+    if (inner) inner(id, now);
+    const auto it = cursors.find(id);
+    if (it == cursors.end()) return;
+    const ChainCursor cursor = it->second;
+    cursors.erase(it);
+    const workload::TaskChain& chain = wl.chains[cursor.chain];
+    if (cursor.next_link >= chain.links.size()) return;
+    const TaskId next = SubmitTaskAt(chain.links[cursor.next_link], now);
+    cursors.emplace(next, ChainCursor{cursor.chain, cursor.next_link + 1});
+  });
+
+  // Chains are sorted by head_index, so one cursor pairs heads with their
+  // timeline position while the timeline is submitted in order.
+  std::size_t next_chain = 0;
+  for (std::size_t i = 0; i < wl.tasks.size(); ++i) {
+    const TaskId id = SubmitTaskAt(wl.tasks[i], wl.tasks[i].create_time);
+    if (next_chain < wl.chains.size() &&
+        wl.chains[next_chain].head_index == i) {
+      cursors.emplace(id, ChainCursor{next_chain, 0});
+      ++next_chain;
+    }
+  }
+  return RunWithWorkload({});
 }
 
 analysis::AuditReport Simulator::AuditStructures() const {

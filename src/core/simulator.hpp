@@ -32,6 +32,7 @@
 #include "sched/policy.hpp"
 #include "sim/kernel.hpp"
 #include "workload/generator.hpp"
+#include "workload/task_classes.hpp"
 
 namespace dreamsim::core {
 
@@ -101,6 +102,13 @@ class Simulator {
 
   /// Runs a pre-materialized workload (trace replay / tests).
   [[nodiscard]] MetricsReport RunWithWorkload(const workload::Workload& wl);
+
+  /// Runs a merged multi-class workload (scenario path): submits the
+  /// timeline and releases each chain successor when its predecessor
+  /// completes (composing with any user-installed completion hook). A
+  /// chain-free workload delegates to RunWithWorkload(wl.tasks) verbatim.
+  [[nodiscard]] MetricsReport RunMultiClass(
+      const workload::MultiClassWorkload& wl);
 
   /// Optional hook invoked after every task completion (used by the
   /// task-graph session to release successors). Set before Run*().

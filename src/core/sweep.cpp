@@ -75,4 +75,71 @@ std::vector<MetricsReport> RunSweep(const SweepParams& params) {
   return reports;
 }
 
+std::vector<ReplicationReport> RunReplicatedSweep(const SweepParams& params) {
+  if (params.replications == 0) {
+    throw std::invalid_argument("need at least one replication per point");
+  }
+  struct Job {
+    sched::ReconfigMode mode;
+    int tasks;
+    std::size_t replication;
+  };
+  std::vector<Job> jobs;
+  const std::size_t points = params.modes.size() * params.task_counts.size();
+  jobs.reserve(points * params.replications);
+  for (const sched::ReconfigMode mode : params.modes) {
+    for (const int tasks : params.task_counts) {
+      for (std::size_t r = 0; r < params.replications; ++r) {
+        jobs.push_back(Job{mode, tasks, r});
+      }
+    }
+  }
+
+  // Flat job list: point-major, replication-minor, so jobs for one point
+  // are contiguous and the reduce below is a simple slice.
+  std::vector<MetricsReport> runs(jobs.size());
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) return;
+      SimulationConfig config = params.base;
+      config.mode = jobs[i].mode;
+      config.tasks.total_tasks = jobs[i].tasks;
+      config.seed = DeriveSeed(params.base.seed, jobs[i].replication);
+      if (config.label.empty()) {
+        config.label = Format("{}-n{}-t{}#{}", sched::ToString(jobs[i].mode),
+                              config.nodes.count, jobs[i].tasks,
+                              jobs[i].replication);
+      }
+      Simulator simulator(std::move(config));
+      runs[i] = simulator.Run();
+    }
+  };
+
+  unsigned threads = params.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(
+      threads, static_cast<unsigned>(std::max<std::size_t>(1, jobs.size())));
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  }
+
+  std::vector<ReplicationReport> reports;
+  reports.reserve(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    const auto first =
+        runs.begin() + static_cast<std::ptrdiff_t>(p * params.replications);
+    reports.push_back(SummarizeReplications(std::vector<MetricsReport>(
+        first, first + static_cast<std::ptrdiff_t>(params.replications))));
+  }
+  return reports;
+}
+
 }  // namespace dreamsim::core

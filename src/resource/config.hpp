@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "ptype/catalogue.hpp"
@@ -53,6 +54,10 @@ struct ConfigGenParams {
   /// (round-robin). <= 1 keeps every configuration universal, matching the
   /// paper's single-family evaluation.
   int family_count = 1;
+  /// Processor-type selection: names from ptype::Catalogue::Default(),
+  /// sampled uniformly in the listed order. Empty = the whole default
+  /// catalogue (the flag-driven path; keeps bit-identity).
+  std::vector<std::string> ptypes;
 };
 
 /// Dense catalogue of configurations, indexed by ConfigId. Searches are

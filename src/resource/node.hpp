@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "resource/config.hpp"
@@ -220,6 +221,29 @@ struct NodeGenParams {
   /// scalar Eq. 4 model when false).
   bool contiguous_placement = false;
   /// Hole-selection heuristic under contiguous placement.
+  Placement placement = Placement::kFirstFit;
+};
+
+/// One heterogeneous device family (a scenario `device class:` block): a
+/// population of nodes sharing a FamilyId, an Eq. 4 area range, a
+/// reconfiguration-port bandwidth, and fabric-model flags. Class index ==
+/// FamilyId, so configurations synthesized per family (round-robin, like
+/// ConfigGenParams::family_count) bind to exactly one class.
+struct DeviceClassParams {
+  /// Diagnostic label ("zynq-small"); never affects generation.
+  std::string name;
+  int count = 0;
+  Area min_area = 1000;
+  Area max_area = 4000;
+  /// Configuration-port bandwidth in bytes/tick (Caps::config_bandwidth;
+  /// drives bitstream transfer time under ship_bitstreams).
+  Bytes config_bandwidth = 400;
+  Tick min_network_delay = 0;
+  Tick max_network_delay = 0;
+  /// Per-node LRU bitstream-store capacity in bytes for this family;
+  /// < 0 inherits the run-wide bitstream_cache_capacity.
+  Bytes bitstream_store = -1;
+  bool contiguous_placement = false;
   Placement placement = Placement::kFirstFit;
 };
 

@@ -159,14 +159,55 @@ void ResourceStore::InitNodes(const NodeGenParams& params, Rng& rng) {
     AddNode(area, family, caps, delay, params.contiguous_placement,
             params.placement);
   }
+  ReserveEntryLists(params.count);
+}
+
+void ResourceStore::InitDeviceClasses(
+    std::span<const DeviceClassParams> classes, std::uint64_t seed_base) {
+  if (classes.empty()) {
+    throw std::invalid_argument("need at least one device class");
+  }
+  int total = 0;
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const DeviceClassParams& p = classes[c];
+    if (p.count <= 0) {
+      throw std::invalid_argument(
+          "device class '" + p.name + "' has non-positive count");
+    }
+    if (p.min_area <= 0 || p.min_area > p.max_area) {
+      throw std::invalid_argument(
+          "device class '" + p.name + "' has an invalid area range");
+    }
+    total += p.count;
+    // Class 0 replays the homogeneous InitNodes stream verbatim; later
+    // classes branch onto decoupled sub-streams so editing one class never
+    // perturbs another's population.
+    Rng rng(c == 0 ? seed_base
+                   : DeriveSeed(seed_base, 0xDEC1A550u + std::uint64_t{c}));
+    const auto family = FamilyId{static_cast<std::uint32_t>(c)};
+    for (int i = 0; i < p.count; ++i) {
+      const Area area = rng.uniform_int(p.min_area, p.max_area);
+      Caps caps;
+      caps.embedded_memory_kb = area / 2;
+      caps.dsp_slices = area / 25;
+      caps.config_bandwidth = p.config_bandwidth;
+      const Tick delay =
+          rng.uniform_int(p.min_network_delay, p.max_network_delay);
+      AddNode(area, family, caps, delay, p.contiguous_placement, p.placement);
+    }
+  }
+  ReserveEntryLists(total);
+}
+
+void ResourceStore::ReserveEntryLists(int node_count) {
   // Reservation discipline (DESIGN.md §13): size each per-config list for
   // the population it will plausibly hold. Entries spread across the
   // catalogue, so a couple of list slots per node per config amortizes the
   // growth reallocations without over-committing memory at large N
   // (micro_simulator's mutation benches measure the effect).
   const std::size_t per_list = std::min<std::size_t>(
-      static_cast<std::size_t>(params.count),
-      static_cast<std::size_t>(params.count) * 2 /
+      static_cast<std::size_t>(node_count),
+      static_cast<std::size_t>(node_count) * 2 /
               std::max<std::size_t>(configs_.size(), 1) +
           16);
   for (EntryList& l : idle_lists_) l.Reserve(per_list);

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -71,6 +73,16 @@ class ResourceStore {
   /// TotalArea in [min_area, max_area] (Table II), families assigned
   /// round-robin, caps scaled with area.
   void InitNodes(const NodeGenParams& params, Rng& rng);
+
+  /// Heterogeneous-population variant (scenario `device class:` blocks):
+  /// generates each class in order, class index == FamilyId. Every class
+  /// draws from its own deterministic sub-stream of `seed_base` so classes
+  /// are statistically decoupled — except class 0, which consumes
+  /// Rng(seed_base) exactly like InitNodes() does, so a single-class
+  /// population with matching ranges is bit-identical to the homogeneous
+  /// path (the scenario differential contract, DESIGN.md §15).
+  void InitDeviceClasses(std::span<const DeviceClassParams> classes,
+                         std::uint64_t seed_base);
 
   // --- Accessors ---
 
@@ -259,6 +271,9 @@ class ResourceStore {
 
   [[nodiscard]] EntryList& idle_list_mut(ConfigId config);
   [[nodiscard]] EntryList& busy_list_mut(ConfigId config);
+  /// Shared InitNodes/InitDeviceClasses tail: pre-sizes the per-config
+  /// idle/busy lists for a population of `node_count` nodes.
+  void ReserveEntryLists(int node_count);
   void RemoveFromBlank(NodeId node_id);
   void PushBlank(NodeId node_id);
   void RefreshIndex(NodeId node_id);

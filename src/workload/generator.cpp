@@ -7,9 +7,8 @@
 #include "util/fmt.hpp"
 
 namespace dreamsim::workload {
-namespace {
 
-Tick DrawGap(const TaskGenParams& p, Rng& rng) {
+Tick DrawArrivalGap(const TaskGenParams& p, Rng& rng) {
   switch (p.arrivals) {
     case ArrivalProcess::kUniform:
       return rng.uniform_int(p.min_interval, p.max_interval);
@@ -24,8 +23,6 @@ Tick DrawGap(const TaskGenParams& p, Rng& rng) {
   }
   return 1;
 }
-
-}  // namespace
 
 Workload GenerateWorkload(const TaskGenParams& params,
                           const resource::ConfigCatalogue& configs, Rng& rng) {
@@ -52,7 +49,7 @@ Workload GenerateWorkload(const TaskGenParams& params,
   workload.reserve(static_cast<std::size_t>(params.total_tasks));
   Tick now = 0;
   for (int i = 0; i < params.total_tasks; ++i) {
-    now += DrawGap(params, rng);
+    now += DrawArrivalGap(params, rng);
     GeneratedTask t;
     t.create_time = now;
     t.required_time =

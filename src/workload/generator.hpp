@@ -80,6 +80,10 @@ using Workload = std::vector<GeneratedTask>;
                                         const resource::ConfigCatalogue& configs,
                                         Rng& rng);
 
+/// One inter-arrival gap under `params.arrivals` (the draw GenerateWorkload
+/// makes between consecutive tasks; exposed for the multi-class generator).
+[[nodiscard]] Tick DrawArrivalGap(const TaskGenParams& params, Rng& rng);
+
 /// Sanity checks a workload (ordering, positive times/areas). Returns a
 /// description per violation; empty means valid.
 [[nodiscard]] std::vector<std::string> ValidateWorkload(const Workload& workload);

@@ -1,0 +1,114 @@
+// Multi-class workload multiplexing (scenario `task class:` blocks).
+//
+// A scenario describes several concurrent task classes — each with its own
+// arrival process (steady / bursty / windowed), a task-count or end-time
+// budget, a graph-vs-independent mix, and an independent seed stream — and
+// the generator merges the per-class arrival streams deterministically into
+// one event timeline. A single plain steady class delegates to
+// GenerateWorkload() byte for byte, so scenario-driven runs of the paper's
+// Table II workload are bit-identical to the flag-driven path (the
+// differential contract pinned by tests/test_scenario_diff.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/generator.hpp"
+
+namespace dreamsim::workload {
+
+/// Shape of a task class's arrival process.
+enum class ArrivalShape : std::uint8_t {
+  /// One continuous gap-driven stream (the Table II process): gaps drawn
+  /// from `base.arrivals` over [min_interval, max_interval], budgeted by
+  /// task count (an end-time budget may cap it early).
+  kSteady,
+  /// Arrival bursts: a burst of [min_burst, max_burst] tasks separated by
+  /// intra-burst `base` gaps, bursts separated by [min_burst_gap,
+  /// max_burst_gap] ticks.
+  kBursty,
+  /// Steady stream confined to the [start_time, end_time] window; the end
+  /// time is the primary budget (a task count may cap it early).
+  kWindowed,
+};
+
+[[nodiscard]] std::string_view ToString(ArrivalShape shape);
+
+/// One scenario task class: the Table II generation parameters plus the
+/// arrival-shape, window, priority, chain, and seed extensions.
+struct TaskClassParams {
+  /// Diagnostic label ("bursty-web"); never affects generation.
+  std::string name;
+  /// Count budget (total_tasks), gap process, and per-task draw ranges.
+  TaskGenParams base;
+  ArrivalShape shape = ArrivalShape::kSteady;
+  /// First arrival happens strictly after this tick.
+  Tick start_time = 0;
+  /// When > 0, arrivals stop once the clock passes this tick (required for
+  /// kWindowed; optional early cap otherwise).
+  Tick end_time = 0;
+  // kBursty only: tasks per burst and inter-burst gap.
+  int min_burst = 1;
+  int max_burst = 1;
+  Tick min_burst_gap = 0;
+  Tick max_burst_gap = 0;
+  /// Per-task scheduling priority, uniform in [min, max] (drawn only when
+  /// the range is non-degenerate; consulted under priority_scheduling).
+  double min_priority = 0.0;
+  double max_priority = 0.0;
+  /// Graph-vs-independent mix: fraction of arrivals that head a dependency
+  /// chain of [min_chain, max_chain] total links; successors are submitted
+  /// when their predecessor completes (Simulator chain session).
+  double graph_fraction = 0.0;
+  int min_chain = 2;
+  int max_chain = 2;
+  /// Explicit per-class seed stream; 0 derives one from the class index
+  /// (class 0 then consumes the run's workload stream exactly like the
+  /// single-stream generator — the bit-identity contract).
+  std::uint64_t seed = 0;
+};
+
+/// One dependency chain: `links[k]` is released when the previous link
+/// completes; `head_index` (into MultiClassWorkload::tasks) is link 0.
+struct TaskChain {
+  std::size_t head_index = 0;
+  std::vector<GeneratedTask> links;
+};
+
+/// The merged multi-class workload: independent tasks and chain heads in
+/// one non-decreasing create_time timeline, plus the chain continuations
+/// the run releases on completions.
+struct MultiClassWorkload {
+  Workload tasks;
+  /// Class index per entry of `tasks` (diagnostics and tests).
+  std::vector<std::uint32_t> class_of;
+  std::vector<TaskChain> chains;
+
+  /// Tasks the run will submit in total (timeline + chain links).
+  [[nodiscard]] std::size_t TotalTasks() const;
+};
+
+/// True when `params` is the plain single-stream shape (steady, no window,
+/// no chains, no priority spread) whose generation delegates verbatim to
+/// GenerateWorkload().
+[[nodiscard]] bool IsPlainSteady(const TaskClassParams& params);
+
+/// Validates one class; returns one description per violation.
+[[nodiscard]] std::vector<std::string> ValidateTaskClass(
+    const TaskClassParams& params);
+
+/// Generates and merges every class against the catalogue. Class c draws
+/// from its own Rng: class 0 without an explicit seed consumes
+/// Rng(base_seed) (bit-identical to the single-stream path when it is the
+/// only class and IsPlainSteady), every other class an independent
+/// DeriveSeed sub-stream. Same-tick arrivals merge lowest class index
+/// first, then per-class generation order. Throws std::invalid_argument on
+/// any ValidateTaskClass violation or an empty class list.
+[[nodiscard]] MultiClassWorkload GenerateMultiClassWorkload(
+    std::span<const TaskClassParams> classes,
+    const resource::ConfigCatalogue& configs, std::uint64_t base_seed);
+
+}  // namespace dreamsim::workload

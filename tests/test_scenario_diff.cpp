@@ -1,0 +1,191 @@
+// Differential test: a single-class scenario must be bit-identical to the
+// flag-driven path — same generated tasks, same scheduler decisions (step
+// meter charges, placements), same Table I metrics — across many seeds.
+// This is the contract that makes scenario files a safe replacement for
+// flag soup: `--scenario table2_baseline.scn` IS `--seed 42 --tasks 1000`.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/simulator.hpp"
+#include "ptype/catalogue.hpp"
+#include "scenario/scenario.hpp"
+#include "util/fmt.hpp"
+#include "workload/generator.hpp"
+#include "workload/task_classes.hpp"
+
+namespace dreamsim::core {
+namespace {
+
+constexpr int kNodes = 24;
+constexpr int kConfigs = 12;
+constexpr int kTasks = 300;
+
+// Scenario text that mirrors FlagConfig() below, knob for knob.
+std::string ScenarioText(std::uint64_t seed, sched::ReconfigMode mode) {
+  return Format(
+      "simulation: {{\n"
+      "  name: diff\n"
+      "  seed: {}\n"
+      "  mode: {}\n"
+      "}}\n"
+      "configurations: {{\n"
+      "  count: {}\n"
+      "  area: [200, 2000]\n"
+      "  config time: [10, 20]\n"
+      "}}\n"
+      "device class: {{\n"
+      "  name: fabric\n"
+      "  count: {}\n"
+      "  area: [1000, 4000]\n"
+      "}}\n"
+      "task class: {{\n"
+      "  name: steady\n"
+      "  count: {}\n"
+      "  interval: [1, 50]\n"
+      "  required time: [100, 100000]\n"
+      "  closest match: 0.15\n"
+      "  unknown area: [200, 2000]\n"
+      "}}\n",
+      seed, mode == sched::ReconfigMode::kFull ? "full" : "partial", kConfigs,
+      kNodes, kTasks);
+}
+
+SimulationConfig FlagConfig(std::uint64_t seed, sched::ReconfigMode mode) {
+  SimulationConfig config;
+  config.seed = seed;
+  config.mode = mode;
+  config.nodes.count = kNodes;
+  config.configs.count = kConfigs;
+  config.tasks.total_tasks = kTasks;
+  return config;
+}
+
+SimulationConfig ScenarioConfig(std::uint64_t seed, sched::ReconfigMode mode) {
+  auto result = scenario::ParseScenario(ScenarioText(seed, mode));
+  EXPECT_TRUE(result.has_value()) << scenario::Render(result.error());
+  return result.value().config;
+}
+
+// Every numeric field of the two reports must match exactly — no
+// tolerances. Doubles are averages of identical integer meters, so they
+// are bit-equal when the decisions are.
+void ExpectIdentical(const MetricsReport& s, const MetricsReport& f) {
+  EXPECT_EQ(s.seed, f.seed);
+  EXPECT_EQ(s.mode_name, f.mode_name);
+  EXPECT_EQ(s.policy_name, f.policy_name);
+  EXPECT_EQ(s.total_nodes, f.total_nodes);
+  EXPECT_EQ(s.total_configs, f.total_configs);
+  EXPECT_EQ(s.total_tasks, f.total_tasks);
+  EXPECT_EQ(s.completed_tasks, f.completed_tasks);
+  EXPECT_EQ(s.discarded_tasks, f.discarded_tasks);
+  EXPECT_EQ(s.suspended_ever, f.suspended_ever);
+  EXPECT_EQ(s.closest_match_tasks, f.closest_match_tasks);
+  EXPECT_EQ(s.avg_wasted_area_per_task, f.avg_wasted_area_per_task);
+  EXPECT_EQ(s.avg_task_running_time, f.avg_task_running_time);
+  EXPECT_EQ(s.avg_reconfig_count_per_node, f.avg_reconfig_count_per_node);
+  EXPECT_EQ(s.avg_config_time_per_task, f.avg_config_time_per_task);
+  EXPECT_EQ(s.avg_waiting_time_per_task, f.avg_waiting_time_per_task);
+  EXPECT_EQ(s.avg_scheduling_steps_per_task, f.avg_scheduling_steps_per_task);
+  EXPECT_EQ(s.total_scheduler_workload, f.total_scheduler_workload);
+  EXPECT_EQ(s.total_used_nodes, f.total_used_nodes);
+  EXPECT_EQ(s.total_simulation_time, f.total_simulation_time);
+  EXPECT_EQ(s.scheduling_steps_total, f.scheduling_steps_total);
+  EXPECT_EQ(s.housekeeping_steps_total, f.housekeeping_steps_total);
+  EXPECT_EQ(s.total_reconfigurations, f.total_reconfigurations);
+  EXPECT_EQ(s.total_configuration_time, f.total_configuration_time);
+  EXPECT_EQ(s.avg_suspension_retries, f.avg_suspension_retries);
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(s.placements_by_kind[k], f.placements_by_kind[k]) << "kind " << k;
+  }
+  EXPECT_EQ(s.placements_per_config, f.placements_per_config);
+}
+
+// The generation layer alone: a plain-steady task class consumes the
+// workload seed stream exactly like the single-stream generator.
+TEST(ScenarioDiff, GeneratedWorkloadsAreBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SimulationConfig config = FlagConfig(seed, sched::ReconfigMode::kPartial);
+    Rng catalogue_rng(DeriveSeed(seed, /*stream=*/2));
+    const auto catalogue = resource::ConfigCatalogue::Generate(
+        config.configs, ptype::Catalogue::Default(), catalogue_rng);
+
+    const std::uint64_t workload_seed = DeriveSeed(seed, /*stream=*/1);
+    Rng flag_rng(workload_seed);
+    const auto flag_tasks =
+        workload::GenerateWorkload(config.tasks, catalogue, flag_rng);
+
+    workload::TaskClassParams cls;
+    cls.name = "steady";
+    cls.base = config.tasks;
+    const auto multi = workload::GenerateMultiClassWorkload(
+        {&cls, 1}, catalogue, workload_seed);
+
+    ASSERT_EQ(multi.tasks.size(), flag_tasks.size()) << "seed " << seed;
+    EXPECT_TRUE(multi.chains.empty());
+    for (std::size_t i = 0; i < flag_tasks.size(); ++i) {
+      EXPECT_EQ(multi.tasks[i].create_time, flag_tasks[i].create_time);
+      EXPECT_EQ(multi.tasks[i].preferred_config,
+                flag_tasks[i].preferred_config);
+      EXPECT_EQ(multi.tasks[i].needed_area, flag_tasks[i].needed_area);
+      EXPECT_EQ(multi.tasks[i].required_time, flag_tasks[i].required_time);
+      EXPECT_EQ(multi.tasks[i].data_size, flag_tasks[i].data_size);
+      EXPECT_EQ(multi.tasks[i].priority, flag_tasks[i].priority);
+    }
+  }
+}
+
+// End to end across 20 seeds: scenario-built config vs flag-built config,
+// full MetricsReport equality (partial mode, the paper's focus).
+TEST(ScenarioDiff, PartialModeRunsAreBitIdenticalAcross20Seeds) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Simulator scn(ScenarioConfig(seed, sched::ReconfigMode::kPartial));
+    Simulator flg(FlagConfig(seed, sched::ReconfigMode::kPartial));
+    SCOPED_TRACE(Format("seed {}", seed));
+    ExpectIdentical(scn.Run(), flg.Run());
+  }
+}
+
+// Both reconfiguration modes on a few seeds — the mode token round-trips
+// through the scenario grammar too.
+TEST(ScenarioDiff, FullModeRunsAreBitIdentical) {
+  for (std::uint64_t seed : {3u, 17u, 42u, 1000u}) {
+    Simulator scn(ScenarioConfig(seed, sched::ReconfigMode::kFull));
+    Simulator flg(FlagConfig(seed, sched::ReconfigMode::kFull));
+    SCOPED_TRACE(Format("seed {}", seed));
+    ExpectIdentical(scn.Run(), flg.Run());
+  }
+}
+
+// A single device class with flag-default knobs is the flag-driven node
+// fleet: same per-node areas, same caps.
+TEST(ScenarioDiff, SingleDeviceClassMatchesInitNodes) {
+  const std::uint64_t seed = 7;
+  SimulationConfig flag = FlagConfig(seed, sched::ReconfigMode::kPartial);
+  SimulationConfig scn = ScenarioConfig(seed, sched::ReconfigMode::kPartial);
+  ASSERT_EQ(scn.device_classes.size(), 1u);
+
+  Simulator a(std::move(flag));
+  Simulator b(std::move(scn));
+  // Identical fleets produce identical runs; the report's node-visible
+  // numbers (used nodes, reconfig counts) pin it.
+  ExpectIdentical(b.Run(), a.Run());
+}
+
+// The scenario label/identity fields ride along without perturbing
+// results: scrubbing them from the scenario config changes nothing else.
+TEST(ScenarioDiff, IdentityFieldsDoNotAffectResults) {
+  SimulationConfig scn = ScenarioConfig(11, sched::ReconfigMode::kPartial);
+  EXPECT_FALSE(scn.scenario_hash.empty());
+  SimulationConfig scrubbed = scn;
+  scrubbed.scenario_name.clear();
+  scrubbed.scenario_hash.clear();
+  scrubbed.label.clear();
+  Simulator a(std::move(scn));
+  Simulator b(std::move(scrubbed));
+  ExpectIdentical(a.Run(), b.Run());
+}
+
+}  // namespace
+}  // namespace dreamsim::core

@@ -1,0 +1,82 @@
+// Scenario-grid smoke: every shipped scenario in scenarios/ must parse,
+// round-trip through its canonical form, and run to completion with the
+// end-of-run structure audit enabled (an audit violation throws). This is
+// the same sweep the Release CI job runs through the CLI; keeping it in
+// ctest means a broken scenario fails locally before it fails in CI.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "scenario/scenario.hpp"
+
+#ifndef DREAMSIM_SCENARIO_DIR
+#error "build must define DREAMSIM_SCENARIO_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace dreamsim::scenario {
+namespace {
+
+std::vector<std::filesystem::path> ScenarioFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(DREAMSIM_SCENARIO_DIR)) {
+    if (entry.path().extension() == ".scn") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ScenarioGrid, LibraryShipsAtLeastTenScenarios) {
+  EXPECT_GE(ScenarioFiles().size(), 10u);
+}
+
+TEST(ScenarioGrid, AtLeastFourScenariosAreHeterogeneous) {
+  int heterogeneous = 0;
+  for (const auto& path : ScenarioFiles()) {
+    auto result = ParseScenarioFile(path.string());
+    ASSERT_TRUE(result.has_value())
+        << path << "\n"
+        << Render(result.error());
+    if (result.value().config.device_classes.size() >= 2) ++heterogeneous;
+  }
+  EXPECT_GE(heterogeneous, 4);
+}
+
+TEST(ScenarioGrid, EveryScenarioRoundTripsAndHashes) {
+  for (const auto& path : ScenarioFiles()) {
+    SCOPED_TRACE(path.string());
+    auto result = ParseScenarioFile(path.string());
+    ASSERT_TRUE(result.has_value()) << Render(result.error());
+    const std::string canonical = CanonicalScenario(result.value());
+    auto again = ParseScenario(canonical);
+    ASSERT_TRUE(again.has_value()) << Render(again.error());
+    EXPECT_EQ(CanonicalScenario(again.value()), canonical);
+    EXPECT_EQ(result.value().config.scenario_hash,
+              ScenarioHash(again.value()));
+  }
+}
+
+TEST(ScenarioGrid, EveryScenarioRunsCleanUnderEndAudit) {
+  for (const auto& path : ScenarioFiles()) {
+    SCOPED_TRACE(path.string());
+    auto result = ParseScenarioFile(path.string());
+    ASSERT_TRUE(result.has_value()) << Render(result.error());
+    core::SimulationConfig config = std::move(result.value().config);
+    config.audit = analysis::AuditMode::kEnd;
+    core::Simulator sim(std::move(config));
+    const core::MetricsReport report = sim.Run();  // audit throws on damage
+    EXPECT_GT(report.total_tasks, 0u);
+    // Every generated task is accounted for: completed, discarded, or
+    // still in flight when the clock drained (which Run() flushes).
+    EXPECT_LE(report.completed_tasks + report.discarded_tasks,
+              report.total_tasks);
+    EXPECT_GT(report.total_simulation_time, 0);
+  }
+}
+
+}  // namespace
+}  // namespace dreamsim::scenario

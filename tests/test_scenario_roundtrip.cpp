@@ -1,0 +1,189 @@
+// Canonical-form and hash-stability tests: parse → CanonicalScenario →
+// re-parse is a fixed point, and ScenarioHash is invariant under comments,
+// incidental whitespace, and key order — the properties that make the hash
+// a usable scenario identity across formatting churn.
+#include "scenario/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace dreamsim::scenario {
+namespace {
+
+ScenarioSpec MustParse(std::string_view text) {
+  auto result = ParseScenario(text);
+  EXPECT_TRUE(result.has_value()) << Render(result.error());
+  return result.has_value() ? std::move(result.value()) : ScenarioSpec{};
+}
+
+// A scenario exercising every block type and most keys.
+constexpr std::string_view kRich = R"(simulation: {
+  name: rich
+  seed: 123
+  mode: partial
+  ship bitstreams: on
+  bitstream cache: 5000
+}
+configurations: {
+  count: 20
+  area: [300, 1500]
+  config time: [10, 18]
+  ptypes: mult32 systolic8x8
+}
+device class: {
+  name: edge
+  count: 40
+  area: [1000, 2000]
+  config bandwidth: 150
+  bitstream store: 900
+  network delay: [1, 4]
+}
+device class: {
+  name: hub
+  count: 10
+  area: [2500, 4000]
+  placement: best-fit
+}
+task class: {
+  name: steady
+  count: 200
+  interval: [1, 30]
+  required time: [100, 9000]
+}
+task class: {
+  name: bursts
+  count: 150
+  arrivals: bursty
+  burst size: [3, 9]
+  burst gap: [200, 800]
+  interval: [1, 5]
+  required time: [100, 5000]
+  priority: [0.25, 0.75]
+  graph fraction: 0.2
+  chain length: [2, 3]
+  seed: 77
+}
+)";
+
+TEST(ScenarioRoundtrip, CanonicalFormIsAFixedPoint) {
+  const ScenarioSpec spec = MustParse(kRich);
+  const std::string canonical = CanonicalScenario(spec);
+  const ScenarioSpec reparsed = MustParse(canonical);
+  EXPECT_EQ(CanonicalScenario(reparsed), canonical);
+  EXPECT_EQ(ScenarioHash(reparsed), ScenarioHash(spec));
+}
+
+TEST(ScenarioRoundtrip, EveryShippedScenarioKeyRoundTrips) {
+  // The reparsed config must equal the original field-for-field; the
+  // canonical fixed point above implies it, but spot-check the knobs that
+  // have defaults-vs-explicit subtleties.
+  const ScenarioSpec spec = MustParse(kRich);
+  const ScenarioSpec again = MustParse(CanonicalScenario(spec));
+  ASSERT_EQ(again.config.device_classes.size(), 2u);
+  EXPECT_EQ(again.config.device_classes[0].bitstream_store, 900);
+  EXPECT_LT(again.config.device_classes[1].bitstream_store, 0);  // inherit
+  ASSERT_EQ(again.config.configs.ptypes.size(), 2u);
+  EXPECT_EQ(again.config.configs.ptypes[0], "mult32");
+  ASSERT_EQ(again.config.task_classes.size(), 2u);
+  EXPECT_EQ(again.config.task_classes[0].seed, 0u);  // derived stream
+  EXPECT_EQ(again.config.task_classes[1].seed, 77u);
+  EXPECT_EQ(again.config.task_classes[1].min_burst, 3);
+  EXPECT_EQ(again.config.task_classes[1].max_burst, 9);
+  EXPECT_TRUE(again.config.ship_bitstreams);
+}
+
+TEST(ScenarioRoundtrip, HashIgnoresComments) {
+  const std::string hash = ScenarioHash(MustParse(kRich));
+  std::string commented = "# a leading comment\n";
+  commented += kRich;
+  commented += "\n# trailing commentary\n";
+  EXPECT_EQ(ScenarioHash(MustParse(commented)), hash);
+}
+
+TEST(ScenarioRoundtrip, HashIgnoresWhitespace) {
+  const std::string hash = ScenarioHash(MustParse(kRich));
+  // Re-indent every line with tabs and pad around colons' values.
+  std::string mangled;
+  for (std::size_t i = 0; i < kRich.size(); ++i) {
+    mangled += kRich[i];
+    if (kRich[i] == '\n') mangled += "\t  \t";
+  }
+  EXPECT_EQ(ScenarioHash(MustParse(mangled)), hash);
+}
+
+TEST(ScenarioRoundtrip, HashIgnoresKeyOrder) {
+  const std::string a =
+      "simulation: {\n"
+      "  name: ordered\n"
+      "  seed: 9\n"
+      "  mode: full\n"
+      "}\n";
+  const std::string b =
+      "simulation: {\n"
+      "  mode: full\n"
+      "  seed: 9\n"
+      "  name: ordered\n"
+      "}\n";
+  EXPECT_EQ(ScenarioHash(MustParse(a)), ScenarioHash(MustParse(b)));
+}
+
+TEST(ScenarioRoundtrip, HashIgnoresBlockOrderAcrossKinds) {
+  // Canonical order is fixed (simulation, configurations, devices, tasks),
+  // so swapping unrelated block kinds in the source cannot change identity.
+  const std::string a =
+      "simulation: {\n  seed: 4\n}\n"
+      "device class: {\n  name: f\n  count: 5\n}\n";
+  const std::string b =
+      "device class: {\n  name: f\n  count: 5\n}\n"
+      "simulation: {\n  seed: 4\n}\n";
+  EXPECT_EQ(ScenarioHash(MustParse(a)), ScenarioHash(MustParse(b)));
+}
+
+TEST(ScenarioRoundtrip, HashSeesSemanticChanges) {
+  const std::string base =
+      "simulation: {\n  seed: 4\n}\n";
+  const std::string changed =
+      "simulation: {\n  seed: 5\n}\n";
+  EXPECT_NE(ScenarioHash(MustParse(base)), ScenarioHash(MustParse(changed)));
+}
+
+TEST(ScenarioRoundtrip, HashDistinguishesDeviceClassOrder) {
+  // Same-kind block order is semantic: it defines family ids and the node
+  // id layout, so swapping two device classes is a different scenario.
+  const std::string ab =
+      "device class: {\n  name: a\n  count: 5\n}\n"
+      "device class: {\n  name: b\n  count: 7\n}\n";
+  const std::string ba =
+      "device class: {\n  name: b\n  count: 7\n}\n"
+      "device class: {\n  name: a\n  count: 5\n}\n";
+  EXPECT_NE(ScenarioHash(MustParse(ab)), ScenarioHash(MustParse(ba)));
+}
+
+TEST(ScenarioRoundtrip, HashIs16LowercaseHexDigits) {
+  const std::string hash = ScenarioHash(MustParse(kRich));
+  ASSERT_EQ(hash.size(), 16u);
+  for (char c : hash) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)));
+    EXPECT_FALSE(std::isupper(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(ScenarioRoundtrip, SpecCarriesTheHashIntoTheConfig) {
+  const ScenarioSpec spec = MustParse(kRich);
+  EXPECT_EQ(spec.config.scenario_hash, ScenarioHash(spec));
+  EXPECT_EQ(spec.config.scenario_name, "rich");
+}
+
+TEST(ScenarioRoundtrip, DefaultScenarioHashesLikeItsCanonicalForm) {
+  // Empty input = all defaults; its canonical form spells them out, and
+  // re-parsing that must neither gain nor lose anything.
+  const ScenarioSpec spec = MustParse("");
+  const std::string canonical = CanonicalScenario(spec);
+  EXPECT_EQ(CanonicalScenario(MustParse(canonical)), canonical);
+}
+
+}  // namespace
+}  // namespace dreamsim::scenario

@@ -86,5 +86,99 @@ TEST(RunSweep, EmptyGridYieldsNothing) {
   EXPECT_TRUE(RunSweep(params).empty());
 }
 
+TEST(RunReplicatedSweep, PointOrderMatchesRunSweep) {
+  SweepParams params = SmallSweep();
+  params.replications = 3;
+  const auto grid = RunReplicatedSweep(params);
+  ASSERT_EQ(grid.size(), 4u);  // 2 modes x 2 task counts
+  for (const auto& point : grid) {
+    EXPECT_EQ(point.replications, 3u);
+    ASSERT_EQ(point.runs.size(), 3u);
+  }
+  EXPECT_EQ(grid[0].runs[0].mode_name, "full");
+  EXPECT_EQ(grid[0].runs[0].total_tasks, 50u);
+  EXPECT_EQ(grid[1].runs[0].total_tasks, 100u);
+  EXPECT_EQ(grid[2].runs[0].mode_name, "partial");
+}
+
+TEST(RunReplicatedSweep, Column0IsBitIdenticalToRunSweepAtDerivedSeed) {
+  // The documented contract: replication r simulates DeriveSeed(base.seed,
+  // r), so the r=0 column of the replicated grid IS the single-seed grid
+  // run at DeriveSeed(base.seed, 0).
+  SweepParams params = SmallSweep();
+  params.replications = 2;
+  const auto replicated = RunReplicatedSweep(params);
+
+  SweepParams single = SmallSweep();
+  single.base.seed = DeriveSeed(params.base.seed, 0);
+  const auto grid = RunSweep(single);
+
+  ASSERT_EQ(replicated.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const MetricsReport& a = replicated[i].runs[0];
+    const MetricsReport& b = grid[i];
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.completed_tasks, b.completed_tasks);
+    EXPECT_EQ(a.total_scheduler_workload, b.total_scheduler_workload);
+    EXPECT_EQ(a.total_simulation_time, b.total_simulation_time);
+    EXPECT_DOUBLE_EQ(a.avg_waiting_time_per_task, b.avg_waiting_time_per_task);
+  }
+}
+
+TEST(RunReplicatedSweep, ReplicationsUseIndependentSeeds) {
+  SweepParams params = SmallSweep();
+  params.replications = 3;
+  const auto grid = RunReplicatedSweep(params);
+  for (const auto& point : grid) {
+    EXPECT_NE(point.runs[0].seed, point.runs[1].seed);
+    EXPECT_NE(point.runs[1].seed, point.runs[2].seed);
+  }
+}
+
+TEST(RunReplicatedSweep, SummaryReducesItsOwnRuns) {
+  // Each point's summary must equal SummarizeReplications over its runs —
+  // the sweep driver may not reduce across points or reorder replications.
+  SweepParams params = SmallSweep();
+  params.replications = 3;
+  const auto grid = RunReplicatedSweep(params);
+  for (const auto& point : grid) {
+    const ReplicationReport direct = SummarizeReplications(point.runs);
+    ASSERT_EQ(direct.metrics.size(), point.metrics.size());
+    for (std::size_t m = 0; m < direct.metrics.size(); ++m) {
+      EXPECT_EQ(point.metrics[m].name, direct.metrics[m].name);
+      EXPECT_DOUBLE_EQ(point.metrics[m].mean(), direct.metrics[m].mean());
+      EXPECT_DOUBLE_EQ(point.metrics[m].stddev(), direct.metrics[m].stddev());
+    }
+  }
+}
+
+TEST(RunReplicatedSweep, ParallelMatchesSequential) {
+  SweepParams params = SmallSweep();
+  params.replications = 2;
+  params.threads = 1;
+  const auto sequential = RunReplicatedSweep(params);
+  params.threads = 4;
+  const auto parallel = RunReplicatedSweep(params);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    ASSERT_EQ(sequential[i].runs.size(), parallel[i].runs.size());
+    for (std::size_t r = 0; r < sequential[i].runs.size(); ++r) {
+      EXPECT_EQ(sequential[i].runs[r].total_scheduler_workload,
+                parallel[i].runs[r].total_scheduler_workload);
+      EXPECT_EQ(sequential[i].runs[r].total_simulation_time,
+                parallel[i].runs[r].total_simulation_time);
+    }
+  }
+}
+
+TEST(RunReplicatedSweep, LabelsEncodePointAndReplication) {
+  SweepParams params = SmallSweep();
+  params.replications = 2;
+  const auto grid = RunReplicatedSweep(params);
+  EXPECT_NE(grid[0].runs[0].label.find("#0"), std::string::npos);
+  EXPECT_NE(grid[0].runs[1].label.find("#1"), std::string::npos);
+  EXPECT_NE(grid[0].runs[0].label.find("full"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dreamsim::core

@@ -18,6 +18,7 @@
 #include "core/report.hpp"
 #include "core/simulator.hpp"
 #include "core/sweep.hpp"
+#include "scenario/scenario.hpp"
 #include "obs/profiler.hpp"
 #include "obs/run_tracer.hpp"
 #include "obs/timeline.hpp"
@@ -146,6 +147,14 @@ void RegisterFlags(CliParser& cli) {
   cli.AddInt("sample-interval", 100, "timeline sampling interval (ticks)");
   cli.AddBool("profile", false,
               "profile scheduler phases (host wall time; report on stdout)");
+  // Scenario files (docs/formats.md).
+  cli.AddString("scenario", "",
+                "drive the run from this scenario file (device/task class "
+                "blocks); structural flags then conflict, runtime knobs "
+                "still apply");
+  cli.AddBool("scenario-print", false,
+              "print the canonical form and stable hash of --scenario, "
+              "then exit");
   // Modes of operation.
   cli.AddBool("compare", false, "run both reconfiguration modes side by side");
   cli.AddBool("sweep", false, "task-count sweep (Fig. 6-10 style)");
@@ -156,28 +165,10 @@ void RegisterFlags(CliParser& cli) {
   cli.AddBool("verbose", false, "log scheduling decisions (very chatty)");
 }
 
-core::SimulationConfig BuildConfig(const CliParser& cli) {
-  core::SimulationConfig config;
-  config.nodes.count = static_cast<int>(cli.GetInt("nodes"));
-  config.nodes.min_area = cli.GetInt("node-min-area");
-  config.nodes.max_area = cli.GetInt("node-max-area");
-  config.nodes.contiguous_placement = cli.GetBool("contiguous");
-  config.configs.count = static_cast<int>(cli.GetInt("configs"));
-  config.configs.min_area = cli.GetInt("config-min-area");
-  config.configs.max_area = cli.GetInt("config-max-area");
-  config.configs.min_config_time = cli.GetInt("config-time-min");
-  config.configs.max_config_time = cli.GetInt("config-time-max");
-  config.tasks.total_tasks = static_cast<int>(cli.GetInt("tasks"));
-  config.tasks.min_interval = cli.GetInt("interval-min");
-  config.tasks.max_interval = cli.GetInt("interval-max");
-  config.tasks.min_required_time = cli.GetInt("time-min");
-  config.tasks.max_required_time = cli.GetInt("time-max");
-  config.tasks.closest_match_fraction = cli.GetDouble("closest-match");
-  config.tasks.unknown_min_area = config.configs.min_area;
-  config.tasks.unknown_max_area = config.configs.max_area;
-  config.closest_match_slowdown = cli.GetDouble("closest-match-slowdown");
-  config.nodes.family_count = static_cast<int>(cli.GetInt("families"));
-  config.configs.family_count = static_cast<int>(cli.GetInt("families"));
+/// Runtime knobs shared by the flag and scenario paths: none of these are
+/// scenario identity (they never change which file describes which
+/// experiment), so they always come from flags.
+void ApplyRuntimeKnobs(const CliParser& cli, core::SimulationConfig& config) {
   config.suspension_batch =
       static_cast<std::size_t>(cli.GetInt("suspension-batch"));
   config.max_suspension_retries =
@@ -210,6 +201,92 @@ core::SimulationConfig BuildConfig(const CliParser& cli) {
                                        cli.GetString("audit")));
   }
   config.audit = *audit;
+  const auto accounting = ParseAccounting(cli.GetString("waste-accounting"));
+  if (!accounting) {
+    throw std::invalid_argument(Format("unknown waste accounting '{}'",
+                                       cli.GetString("waste-accounting")));
+  }
+  config.waste_accounting = *accounting;
+}
+
+/// Flags whose meaning a scenario file owns; setting both is ambiguous and
+/// rejected (the scenario hash must identify the experiment).
+constexpr const char* kScenarioOwnedFlags[] = {
+    "nodes",          "node-min-area",  "node-max-area",
+    "configs",        "config-min-area", "config-max-area",
+    "config-time-min", "config-time-max", "tasks",
+    "interval-min",   "interval-max",   "time-min",
+    "time-max",       "closest-match",  "closest-match-slowdown",
+    "families",       "arrivals",       "contiguous",
+    "placement",
+};
+
+core::SimulationConfig BuildScenarioConfig(const CliParser& cli) {
+  const std::string path = cli.GetString("scenario");
+  auto parsed = scenario::ParseScenarioFile(path);
+  if (!parsed) {
+    throw std::invalid_argument(Format("scenario '{}' is invalid:\n{}", path,
+                                       scenario::Render(parsed.error())));
+  }
+  for (const char* flag : kScenarioOwnedFlags) {
+    if (cli.WasSet(flag)) {
+      throw std::invalid_argument(Format(
+          "--{} conflicts with --scenario; set it in the scenario file",
+          flag));
+    }
+  }
+  core::SimulationConfig config = std::move(parsed->config);
+  // Reproducibility and mode/policy may be varied per invocation without
+  // editing the file: explicit flags override the scenario's declaration.
+  if (cli.WasSet("seed")) {
+    config.seed = static_cast<std::uint64_t>(cli.GetInt("seed"));
+  }
+  if (cli.WasSet("mode")) {
+    const std::string mode = cli.GetString("mode");
+    if (mode == "full") {
+      config.mode = sched::ReconfigMode::kFull;
+    } else if (mode == "partial") {
+      config.mode = sched::ReconfigMode::kPartial;
+    } else {
+      throw std::invalid_argument(Format("unknown mode '{}'", mode));
+    }
+  }
+  if (cli.WasSet("policy")) {
+    const auto policy = ParsePolicy(cli.GetString("policy"));
+    if (!policy) {
+      throw std::invalid_argument(
+          Format("unknown policy '{}'", cli.GetString("policy")));
+    }
+    config.policy = *policy;
+  }
+  ApplyRuntimeKnobs(cli, config);
+  return config;
+}
+
+core::SimulationConfig BuildConfig(const CliParser& cli) {
+  if (!cli.GetString("scenario").empty()) return BuildScenarioConfig(cli);
+  core::SimulationConfig config;
+  config.nodes.count = static_cast<int>(cli.GetInt("nodes"));
+  config.nodes.min_area = cli.GetInt("node-min-area");
+  config.nodes.max_area = cli.GetInt("node-max-area");
+  config.nodes.contiguous_placement = cli.GetBool("contiguous");
+  config.configs.count = static_cast<int>(cli.GetInt("configs"));
+  config.configs.min_area = cli.GetInt("config-min-area");
+  config.configs.max_area = cli.GetInt("config-max-area");
+  config.configs.min_config_time = cli.GetInt("config-time-min");
+  config.configs.max_config_time = cli.GetInt("config-time-max");
+  config.tasks.total_tasks = static_cast<int>(cli.GetInt("tasks"));
+  config.tasks.min_interval = cli.GetInt("interval-min");
+  config.tasks.max_interval = cli.GetInt("interval-max");
+  config.tasks.min_required_time = cli.GetInt("time-min");
+  config.tasks.max_required_time = cli.GetInt("time-max");
+  config.tasks.closest_match_fraction = cli.GetDouble("closest-match");
+  config.tasks.unknown_min_area = config.configs.min_area;
+  config.tasks.unknown_max_area = config.configs.max_area;
+  config.closest_match_slowdown = cli.GetDouble("closest-match-slowdown");
+  config.nodes.family_count = static_cast<int>(cli.GetInt("families"));
+  config.configs.family_count = static_cast<int>(cli.GetInt("families"));
+  ApplyRuntimeKnobs(cli, config);
   config.seed = static_cast<std::uint64_t>(cli.GetInt("seed"));
 
   const std::string arrivals = cli.GetString("arrivals");
@@ -234,13 +311,6 @@ core::SimulationConfig BuildConfig(const CliParser& cli) {
         Format("unknown policy '{}'", cli.GetString("policy")));
   }
   config.policy = *policy;
-
-  const auto accounting = ParseAccounting(cli.GetString("waste-accounting"));
-  if (!accounting) {
-    throw std::invalid_argument(Format("unknown waste accounting '{}'",
-                                       cli.GetString("waste-accounting")));
-  }
-  config.waste_accounting = *accounting;
 
   const std::string placement = cli.GetString("placement");
   if (placement == "best-fit") {
@@ -326,9 +396,15 @@ int RunSingleOrCompare(const CliParser& cli) {
   for (const auto mode : modes) {
     core::SimulationConfig config = BuildConfig(cli);
     config.mode = mode;
-    config.label = std::string(sched::ToString(mode));
+    config.label = config.scenario_name.empty()
+                       ? std::string(sched::ToString(mode))
+                       : Format("{}-{}", config.scenario_name,
+                                sched::ToString(mode));
 
-    if (!trace && !trace_out.empty()) {
+    if (!trace && !trace_out.empty() && !config.task_classes.empty()) {
+      std::cerr << "warning: --workload-trace-out is ignored for "
+                   "multi-class scenarios\n";
+    } else if (!trace && !trace_out.empty()) {
       // Generate once, save, then replay the saved workload so the file is
       // exactly what the simulation consumed.
       Rng workload_rng(DeriveSeed(config.seed, 1));
@@ -443,6 +519,31 @@ int RunSweepMode(const CliParser& cli) {
   params.task_counts = core::PaperTaskCounts(cli.GetDouble("scale"));
   params.modes = {sched::ReconfigMode::kFull, sched::ReconfigMode::kPartial};
   params.threads = static_cast<unsigned>(cli.GetInt("threads"));
+  params.replications = static_cast<std::size_t>(cli.GetInt("replications"));
+
+  if (params.replications > 1) {
+    // Replicated grid: each point summarized over independent seeds.
+    const auto points = core::RunReplicatedSweep(params);
+    if (profile) {
+      std::cout << "\n[sweep] " << obs::PhaseProfiler::Instance().Report();
+    }
+    std::vector<core::MetricsReport> all_runs;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto mode = params.modes[i / params.task_counts.size()];
+      const int tasks = params.task_counts[i % params.task_counts.size()];
+      std::cout << Format("\n[{} tasks={}]\n", sched::ToString(mode), tasks)
+                << core::RenderReplicationTable(points[i]);
+      all_runs.insert(all_runs.end(), points[i].runs.begin(),
+                      points[i].runs.end());
+    }
+    const std::string csv_path = cli.GetString("csv");
+    if (!csv_path.empty()) {
+      std::ofstream out(csv_path);
+      core::WriteCsvReports(out, all_runs);
+      std::cout << "wrote " << csv_path << "\n";
+    }
+    return 0;
+  }
 
   const auto reports = core::RunSweep(params);
   if (profile) {
@@ -477,6 +578,24 @@ int main(int argc, char** argv) {
   if (cli.GetBool("verbose")) Log::SetLevel(LogLevel::kDebug);
 
   try {
+    if (cli.GetBool("scenario-print")) {
+      const std::string path = cli.GetString("scenario");
+      if (path.empty()) {
+        throw std::invalid_argument("--scenario-print needs --scenario FILE");
+      }
+      const auto parsed = scenario::ParseScenarioFile(path);
+      if (!parsed) {
+        std::cerr << Format("scenario '{}' is invalid:\n{}", path,
+                            scenario::Render(parsed.error()));
+        return 1;
+      }
+      // The hash comment keeps the output parseable as a scenario itself.
+      std::cout << Format("# scenario hash: {}\n",
+                          scenario::ScenarioHash(*parsed))
+                << scenario::CanonicalScenario(*parsed);
+      return 0;
+    }
+    if (cli.GetBool("sweep")) return RunSweepMode(cli);  // owns --replications
     if (cli.GetInt("replications") > 1) {
       WarnUnsupportedObs(cli, "replications");
       const auto replications =
@@ -487,7 +606,7 @@ int main(int argc, char** argv) {
       std::cout << core::RenderReplicationTable(report);
       return 0;
     }
-    return cli.GetBool("sweep") ? RunSweepMode(cli) : RunSingleOrCompare(cli);
+    return RunSingleOrCompare(cli);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
