@@ -415,7 +415,14 @@ int main(int argc, char** argv) {
       config.tasks.min_required_time = 2000;
       config.tasks.max_required_time = 20000;
     }
+    // Each trajectory point gets its own phase rows: the indexed-sharded
+    // breakdown is the one that actually scales toward 1M nodes, and
+    // comparing it against the scan rows above is the point of the file.
+    obs::PhaseProfiler::Instance().Reset();
     const ScaleRun run = RunScale(config);
+    const std::vector<PhaseRow> point_phases =
+        CapturePhases(Format("indexed-sharded-k8-{}n", p.nodes));
+    phases.insert(phases.end(), point_phases.begin(), point_phases.end());
     TrajectoryRow row;
     row.nodes = p.nodes;
     row.tasks = p.tasks;

@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "resource/entry_list.hpp"
 #include "resource/index_primitives.hpp"
 #include "resource/node.hpp"
@@ -966,6 +967,74 @@ AuditReport StructureAuditor::AuditStore(const ResourceStore& store) {
   AuditFaultVisibility(store, report);
   AuditStoreIndex(store, report);
   AuditShards(store, report);
+  return report;
+}
+
+AuditReport StructureAuditor::AuditMetrics(const ResourceStore& store,
+                                           const SuspensionQueue& queue,
+                                           const sim::EventQueue& events,
+                                           const resource::TaskStore& tasks) {
+  AuditReport report;
+  if (!obs::MetricsRegistry::enabled()) return report;
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::Instance().TakeSnapshot();
+  const auto value = [&snap](obs::MetricId id) {
+    return snap.value[static_cast<std::size_t>(id)];
+  };
+  const auto check = [&report](bool ok, std::string_view path,
+                               std::string detail) {
+    if (!ok) {
+      report.violations.push_back(
+          {"metrics.conservation", std::string(path), std::move(detail)});
+    }
+  };
+  using obs::MetricId;
+
+  // Event-queue flow: every pushed event is live, executed, or cancelled.
+  const std::uint64_t pushed = value(MetricId::kEvqPushed);
+  const std::uint64_t popped = value(MetricId::kEvqPopped);
+  const std::uint64_t cancelled = value(MetricId::kEvqCancelled);
+  check(pushed == popped + cancelled + events.size(), "event-queue",
+        Format("pushed {} != popped {} + cancelled {} + live {}", pushed,
+               popped, cancelled, events.size()));
+  check(value(MetricId::kEvqDepth) == events.size(), "event-queue",
+        Format("depth gauge {} != live events {}", value(MetricId::kEvqDepth),
+               events.size()));
+
+  // Suspension-queue flow and depth gauge.
+  const std::uint64_t enqueued = value(MetricId::kSusEnqueued);
+  const std::uint64_t removed = value(MetricId::kSusRemoved);
+  check(enqueued == removed + queue.size(), "suspension-queue",
+        Format("enqueued {} != removed {} + queued {}", enqueued, removed,
+               queue.size()));
+  check(value(MetricId::kSusDepth) == queue.size(), "suspension-queue",
+        Format("depth gauge {} != queued {}", value(MetricId::kSusDepth),
+               queue.size()));
+
+  // Fault flow: failures not yet repaired are exactly the failed nodes.
+  const std::uint64_t failures = value(MetricId::kFaultFailures);
+  const std::uint64_t repairs = value(MetricId::kFaultRepairs);
+  check(failures == repairs + store.failed_node_count(), "faults",
+        Format("failures {} != repairs {} + failed nodes {}", failures,
+               repairs, store.failed_node_count()));
+  check(value(MetricId::kFaultFailedNodes) == store.failed_node_count(),
+        "faults",
+        Format("failed-nodes gauge {} != failed nodes {}",
+               value(MetricId::kFaultFailedNodes),
+               store.failed_node_count()));
+
+  // Terminal task counters vs the TaskStore's ground-truth states (the
+  // counter increments share the call sites that set the states).
+  const std::size_t completed =
+      tasks.CountInState(resource::TaskState::kCompleted);
+  const std::size_t discarded =
+      tasks.CountInState(resource::TaskState::kDiscarded);
+  check(value(MetricId::kTasksCompleted) == completed, "tasks",
+        Format("completed counter {} != completed tasks {}",
+               value(MetricId::kTasksCompleted), completed));
+  check(value(MetricId::kTasksDiscarded) == discarded, "tasks",
+        Format("discarded counter {} != discarded tasks {}",
+               value(MetricId::kTasksDiscarded), discarded));
   return report;
 }
 

@@ -30,6 +30,7 @@
 
 #include "resource/store.hpp"
 #include "resource/suspension_queue.hpp"
+#include "resource/task.hpp"
 #include "sim/event_queue.hpp"
 #include "util/types.hpp"
 
@@ -84,6 +85,17 @@ class StructureAuditor {
       const resource::ResourceStore& store,
       const resource::SuspensionQueue& queue, const sim::EventQueue& events,
       Tick now);
+
+  /// Cross-checks the live metrics registry against the structures it
+  /// observes ("metrics.conservation"): event-queue flow conservation,
+  /// suspension-queue depth, fault-gauge vs failed nodes, and terminal task
+  /// counters vs TaskStore states. Valid only while the registry covers
+  /// exactly the current run (enabled before the run, Reset() at its
+  /// start); returns an empty report when the registry is disabled.
+  [[nodiscard]] static AuditReport AuditMetrics(
+      const resource::ResourceStore& store,
+      const resource::SuspensionQueue& queue, const sim::EventQueue& events,
+      const resource::TaskStore& tasks);
 
  private:
   static void AuditEntryLists(const resource::ResourceStore& store,

@@ -57,6 +57,7 @@ void MetricsCollector::OnWasteSignal(Tick now, Area total_wasted) {
 }
 
 void MetricsCollector::OnPlaced(const sched::Decision& decision) {
+  obs::MetricInc(obs::MetricId::kTasksPlaced);
   const auto kind = static_cast<std::size_t>(decision.kind);
   if (kind < 5) ++placements_by_kind_[kind];
   if (decision.config.valid()) {
@@ -70,6 +71,7 @@ void MetricsCollector::OnPlaced(const sched::Decision& decision) {
 
 void MetricsCollector::OnCompleted(const resource::Task& task) {
   ++completed_;
+  obs::MetricInc(obs::MetricId::kTasksCompleted);
   waiting_.Add(static_cast<double>(task.WaitingTime()));
   turnaround_.Add(static_cast<double>(task.TurnaroundTime()));
   retries_.Add(static_cast<double>(task.sus_retry));

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "core/sim_config.hpp"
+#include "obs/metrics.hpp"
 #include "resource/store.hpp"
 #include "resource/task.hpp"
 #include "util/stats.hpp"
@@ -78,6 +79,11 @@ struct MetricsReport {
   OnlineStats waiting_time_stats;
   OnlineStats turnaround_stats;
   OnlineStats wasted_area_samples;
+
+  /// Pre-rendered final metrics-registry snapshot (obs::RenderMetricsBlock),
+  /// filled by the CLI when --metrics-out/--explain enabled the registry;
+  /// empty otherwise. RenderReportTable appends it verbatim.
+  std::string metrics_block;
 };
 
 /// Streaming collector driven by the Simulator.
@@ -89,7 +95,10 @@ class MetricsCollector {
   }
 
   /// One generated task entered the system.
-  void OnTaskGenerated() { ++total_tasks_; }
+  void OnTaskGenerated() {
+    ++total_tasks_;
+    obs::MetricInc(obs::MetricId::kTasksGenerated);
+  }
 
   /// A scheduling attempt ran at `now` (after the policy returned).
   /// `store` provides Eq. 6 for the sampling accountings, which only
@@ -108,9 +117,18 @@ class MetricsCollector {
   void OnWasteSignal(Tick now, Area total_wasted);
 
   void OnPlaced(const sched::Decision& decision);
-  void OnSuspendedFirstTime() { ++suspended_ever_; }
-  void OnDiscarded() { ++discarded_; }
-  void OnClosestMatchUsed() { ++closest_match_; }
+  void OnSuspendedFirstTime() {
+    ++suspended_ever_;
+    obs::MetricInc(obs::MetricId::kTasksSuspendedFirst);
+  }
+  void OnDiscarded() {
+    ++discarded_;
+    obs::MetricInc(obs::MetricId::kTasksDiscarded);
+  }
+  void OnClosestMatchUsed() {
+    ++closest_match_;
+    obs::MetricInc(obs::MetricId::kClosestMatchPlacements);
+  }
 
   /// Task finished; called with the final Task record.
   void OnCompleted(const resource::Task& task);

@@ -189,6 +189,9 @@ std::string RenderReportTable(const MetricsReport& r) {
     row("lost work (area-ticks)", Format("{}", r.lost_work_area_ticks));
     row("total node downtime", Format("{}", r.total_downtime));
   }
+  if (!r.metrics_block.empty()) {
+    out += r.metrics_block;
+  }
   return out;
 }
 

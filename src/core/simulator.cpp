@@ -1,10 +1,12 @@
 #include "core/simulator.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "ptype/catalogue.hpp"
 #include "sched/dreamsim_policy.hpp"
@@ -262,8 +264,18 @@ MetricsReport Simulator::RunMultiClass(const workload::MultiClassWorkload& wl) {
 }
 
 analysis::AuditReport Simulator::AuditStructures() const {
-  return analysis::StructureAuditor::AuditAll(store_, suspension_,
-                                              kernel_.queue(), kernel_.now());
+  analysis::AuditReport report = analysis::StructureAuditor::AuditAll(
+      store_, suspension_, kernel_.queue(), kernel_.now());
+  // With the live registry on, also cross-check its counters against the
+  // structures they observe (valid because the CLI/tests reset the registry
+  // at run start, so it covers exactly this run).
+  analysis::AuditReport metrics = analysis::StructureAuditor::AuditMetrics(
+      store_, suspension_, kernel_.queue(), tasks_);
+  report.violations.insert(
+      report.violations.end(),
+      std::make_move_iterator(metrics.violations.begin()),
+      std::make_move_iterator(metrics.violations.end()));
+  return report;
 }
 
 void Simulator::AuditAt(const char* where) {
@@ -316,11 +328,43 @@ void Simulator::ObserveState() {
   }
 }
 
+void Simulator::EmitExplain(TaskId id, bool is_arrival, sched::Outcome outcome,
+                            const char* reason,
+                            const sched::Decision* decision) {
+  ExplainRecord record;
+  record.task = id;
+  record.tick = kernel_.now();
+  record.is_arrival = is_arrival;
+  record.outcome = outcome;
+  record.reason = reason;
+  if (decision != nullptr) {
+    record.node = decision->entry.node;
+    record.config = decision->config;
+    record.kind = decision->kind;
+    record.used_closest_match = decision->used_closest_match;
+    record.config_time = decision->config_time;
+    record.attempt_steps = store_.meter().current_task_steps();
+  }
+  record.queue_depth = suspension_.size();
+  record.failed_nodes = store_.failed_node_count();
+  obs::MetricInc(obs::MetricId::kExplainRecords);
+  explain_observer_(record);
+}
+
 sched::Outcome Simulator::AttemptSchedule(TaskId id, bool is_arrival) {
   resource::Task& task = tasks_.Get(id);
   const sched::Decision decision = policy_->Schedule(task, store_);
   metrics_.OnScheduleAttempt(kernel_.now(), is_arrival, store_);
   if (decision.config.valid()) task.resolved_config = decision.config;
+  if (ShouldExplain(id)) {
+    const char* reason = "placed";
+    if (decision.outcome == sched::Outcome::kSuspend) {
+      reason = "busy-candidate-exists";
+    } else if (decision.outcome == sched::Outcome::kDiscard) {
+      reason = "no-feasible-host";
+    }
+    EmitExplain(id, is_arrival, decision.outcome, reason, &decision);
+  }
 
   switch (decision.outcome) {
     case sched::Outcome::kPlaced: {
@@ -417,6 +461,10 @@ void Simulator::EnqueueSuspended(TaskId id) {
     resource::Task& task = tasks_.Get(id);
     task.state = resource::TaskState::kDiscarded;
     metrics_.OnDiscarded();
+    if (ShouldExplain(id)) {
+      EmitExplain(id, /*is_arrival=*/false, sched::Outcome::kDiscard,
+                  "queue-overflow", nullptr);
+    }
     Emit(SimEvent::Kind::kDiscarded, id);
     NoteTerminal();
     DREAMSIM_LOG(LogLevel::kWarning,
@@ -495,10 +543,14 @@ void Simulator::DrainSuspensionQueue(NodeId freed_node,
 
 Simulator::DrainAttempt Simulator::AttemptQueuedAt(std::size_t index) {
   const TaskId id = suspension_.tasks()[index];
+  obs::MetricInc(obs::MetricId::kDrainAttempts);
   store_.meter().BeginTask();
   const sched::Outcome outcome = AttemptSchedule(id, /*is_arrival=*/false);
   if (outcome == sched::Outcome::kPlaced ||
       outcome == sched::Outcome::kDiscard) {
+    if (outcome == sched::Outcome::kPlaced) {
+      obs::MetricInc(obs::MetricId::kDrainPlacements);
+    }
     suspension_.RemoveAt(index, store_.meter());
     MaybeAudit("queued-attempt");
     return {outcome == sched::Outcome::kPlaced, true};
@@ -512,6 +564,10 @@ Simulator::DrainAttempt Simulator::AttemptQueuedAt(std::size_t index) {
     suspension_.RemoveAt(index, store_.meter());
     failed.state = resource::TaskState::kDiscarded;
     metrics_.OnDiscarded();
+    if (ShouldExplain(id)) {
+      EmitExplain(id, /*is_arrival=*/false, sched::Outcome::kDiscard,
+                  "retry-budget-exhausted", nullptr);
+    }
     Emit(SimEvent::Kind::kDiscarded, id);
     NoteTerminal();
     MaybeAudit("queued-attempt");
@@ -562,6 +618,7 @@ void Simulator::DrainFullMode(const resource::Node& node,
     if (pick) (void)AttemptQueuedAt(*pick);
     return;
   }
+  obs::MetricInc(obs::MetricId::kSusqScanFallback);
   std::size_t match_index = 0;
   bool has_match = false;
   double match_priority = 0.0;
@@ -627,6 +684,7 @@ void Simulator::DrainPartialPriority(const resource::Node& node,
   for (std::size_t policy_runs = 0; policy_runs < max_policy_runs;
        ++policy_runs) {
     // Full counted scan for the best (priority, FIFO-tie) candidate.
+    obs::MetricInc(obs::MetricId::kSusqScanFallback);
     std::size_t best_index = 0;
     bool found = false;
     double best_priority = 0.0;
@@ -679,6 +737,7 @@ void Simulator::DrainPartialFifo(const resource::Node& node,
     }
     return;
   }
+  obs::MetricInc(obs::MetricId::kSusqScanFallback);
   while (index < suspension_.size() && policy_runs < max_policy_runs) {
     const resource::Task& task = tasks_.Get(suspension_.tasks()[index]);
     store_.meter().Add(resource::StepKind::kSchedulingSearch);
@@ -709,6 +768,10 @@ MetricsReport Simulator::FinishReport() {
     resource::Task& task = tasks_.Get(*id);
     task.state = resource::TaskState::kDiscarded;
     metrics_.OnDiscarded();
+    if (ShouldExplain(*id)) {
+      EmitExplain(*id, /*is_arrival=*/false, sched::Outcome::kDiscard,
+                  "drained-at-end", nullptr);
+    }
     Emit(SimEvent::Kind::kDiscarded, *id);
     NoteTerminal();
   }
@@ -813,6 +876,12 @@ void Simulator::HandleNodeFailure(NodeId node_id) {
   Emit(SimEvent::Kind::kNodeFailed, TaskId::invalid(), node_id);
   DREAMSIM_LOG(LogLevel::kDebug, "t={} node {} failed", now, node_id.value());
   const std::vector<TaskId> killed = store_.FailNode(node_id);
+  if (obs::MetricsRegistry::enabled()) {
+    auto& reg = obs::MetricsRegistry::Instance();
+    reg.Add(obs::MetricId::kFaultFailures);
+    reg.Add(obs::MetricId::kFaultKills, killed.size());
+    reg.GaugeSet(obs::MetricId::kFaultFailedNodes, store_.failed_node_count());
+  }
   for (const TaskId id : killed) {
     resource::Task& task = tasks_.Get(id);
     if (id.value() < completion_events_.size() &&
@@ -828,8 +897,10 @@ void Simulator::HandleNodeFailure(NodeId node_id) {
     // again in full on the next placement regardless.
     const Tick setup_done = task.start_time + task.comm_time + task.config_wait;
     if (now > setup_done) {
-      lost_work_area_ticks_ += static_cast<std::uint64_t>(area) *
-                               static_cast<std::uint64_t>(now - setup_done);
+      const std::uint64_t lost = static_cast<std::uint64_t>(area) *
+                                 static_cast<std::uint64_t>(now - setup_done);
+      lost_work_area_ticks_ += lost;
+      obs::MetricInc(obs::MetricId::kFaultLostWorkTicks, lost);
     }
     Emit(SimEvent::Kind::kKilled, id, node_id, task.assigned_config);
     task.assigned_config = ConfigId::invalid();
@@ -843,6 +914,10 @@ void Simulator::HandleNodeFailure(NodeId node_id) {
         task.sus_retry >= config_.max_suspension_retries) {
       task.state = resource::TaskState::kDiscarded;
       metrics_.OnDiscarded();
+      if (ShouldExplain(id)) {
+        EmitExplain(id, /*is_arrival=*/false, sched::Outcome::kDiscard,
+                    "killed-retry-exhausted", nullptr);
+      }
       Emit(SimEvent::Kind::kDiscarded, id);
       NoteTerminal();
       continue;
@@ -861,6 +936,11 @@ void Simulator::HandleNodeRepair(NodeId node_id) {
   downtime_total_ += now - failed_since_[node_id.value()];
   failed_since_[node_id.value()] = kNoTick;
   store_.RepairNode(node_id);
+  if (obs::MetricsRegistry::enabled()) {
+    auto& reg = obs::MetricsRegistry::Instance();
+    reg.Add(obs::MetricId::kFaultRepairs);
+    reg.GaugeSet(obs::MetricId::kFaultFailedNodes, store_.failed_node_count());
+  }
   Emit(SimEvent::Kind::kNodeRepaired, TaskId::invalid(), node_id);
   DREAMSIM_LOG(LogLevel::kDebug, "t={} node {} repaired", now,
                node_id.value());

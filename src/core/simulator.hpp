@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "analysis/structure_auditor.hpp"
@@ -72,6 +73,35 @@ struct SimEvent {
 };
 
 [[nodiscard]] std::string_view ToString(SimEvent::Kind kind);
+
+/// One scheduling decision, as observed by the optional explain observer
+/// (--explain). Captures what the policy saw and why the task ended up
+/// where it did; `attempt_steps` is the number of scheduler search steps
+/// the attempt charged — the size of the candidate set the policy explored.
+struct ExplainRecord {
+  TaskId task;
+  Tick tick = 0;
+  /// First attempt at arrival vs. a suspension-queue retry.
+  bool is_arrival = true;
+  sched::Outcome outcome = sched::Outcome::kDiscard;
+  /// Set on kPlaced: where and how the task landed.
+  NodeId node;
+  ConfigId config;
+  sched::PlacementKind kind{};
+  bool used_closest_match = false;
+  Tick config_time = 0;
+  /// Scheduling-search steps charged during this attempt (candidate
+  /// visits); 0 for records not produced by a policy run (overflow, end
+  /// sweep).
+  Steps attempt_steps = 0;
+  /// Suspension-queue depth and failed-node count at decision time.
+  std::size_t queue_depth = 0;
+  std::size_t failed_nodes = 0;
+  /// Short machine-readable cause: "placed", "busy-candidate-exists",
+  /// "no-feasible-host", "queue-overflow", "retry-budget-exhausted",
+  /// "killed-retry-exhausted", "drained-at-end".
+  const char* reason = "";
+};
 
 /// System-state observation delivered to the optional state observer at
 /// every monitoring point (the same event-driven sites the MonitoringModule
@@ -135,6 +165,16 @@ class Simulator {
     state_observer_ = std::move(observer);
   }
 
+  /// Optional observer of per-decision explain records (--explain). Pure
+  /// observer like the event logger. `tasks` filters emission to those
+  /// TaskIds; an empty filter explains every task. Set before Run*().
+  void SetExplainObserver(std::function<void(const ExplainRecord&)> observer,
+                          std::vector<TaskId> tasks = {}) {
+    explain_observer_ = std::move(observer);
+    explain_tasks_.clear();
+    for (const TaskId id : tasks) explain_tasks_.insert(id.value());
+  }
+
   // --- Post-run inspection ---
   [[nodiscard]] const resource::ResourceStore& store() const { return store_; }
   [[nodiscard]] const resource::SuspensionQueue& suspension() const {
@@ -177,6 +217,14 @@ class Simulator {
   /// Feeds the monitoring module and/or the state observer (one shared
   /// snapshot); no-op when both are off.
   void ObserveState();
+  /// True when the explain observer wants records for `id`.
+  [[nodiscard]] bool ShouldExplain(TaskId id) const {
+    return explain_observer_ &&
+           (explain_tasks_.empty() || explain_tasks_.count(id.value()) != 0);
+  }
+  /// Builds and delivers one explain record (call only after ShouldExplain).
+  void EmitExplain(TaskId id, bool is_arrival, sched::Outcome outcome,
+                   const char* reason, const sched::Decision* decision);
   void HandleArrival(TaskId id);
   void HandleCompletion(TaskId id, resource::EntryRef entry);
   /// One policy attempt; performs all placed/discard bookkeeping. Returns
@@ -268,6 +316,8 @@ class Simulator {
   std::function<void(TaskId, Tick)> completion_hook_;
   std::function<void(const SimEvent&)> event_logger_;
   std::function<void(const StateSample&)> state_observer_;
+  std::function<void(const ExplainRecord&)> explain_observer_;
+  std::unordered_set<std::uint32_t> explain_tasks_;  // empty = all tasks
   bool ran_ = false;
 
   // --- Fault injection state (all dormant when faults are disabled) ---

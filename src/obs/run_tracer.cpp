@@ -71,6 +71,15 @@ std::string_view KindName(core::SimEvent::Kind kind) {
   return "?";
 }
 
+std::string_view OutcomeName(sched::Outcome outcome) {
+  switch (outcome) {
+    case sched::Outcome::kPlaced: return "placed";
+    case sched::Outcome::kSuspend: return "suspend";
+    case sched::Outcome::kDiscard: return "discard";
+  }
+  return "?";
+}
+
 std::string_view PlacementName(sched::PlacementKind kind) {
   using sched::PlacementKind;
   switch (kind) {
@@ -160,6 +169,50 @@ void RunTracer::OnEvent(const core::SimEvent& event) {
   } else {
     ChromeOnEvent(event);
   }
+}
+
+void RunTracer::OnExplain(const core::ExplainRecord& record) {
+  if (format_ != TraceFormat::kJsonl) return;
+  // Flush buffered events first so the explain line lands at its true
+  // position in the stream.
+  SerializeJsonlPending();
+  char buf[kJsonlMaxLineBytes];
+  char* p = buf;
+  p = PutLit(p, "{\"type\":\"explain\",\"tick\":");
+  p = PutU64(p, static_cast<std::uint64_t>(record.tick));
+  p = PutLit(p, ",\"task\":");
+  p = PutU64(p, record.task.value());
+  p = PutLit(p, ",\"attempt\":\"");
+  p = PutToken(p, record.is_arrival ? "arrival" : "retry");
+  p = PutLit(p, "\",\"outcome\":\"");
+  p = PutToken(p, OutcomeName(record.outcome));
+  p = PutLit(p, "\",\"reason\":\"");
+  p = PutToken(p, record.reason);
+  *p++ = '"';
+  if (record.outcome == sched::Outcome::kPlaced) {
+    p = PutLit(p, ",\"node\":");
+    p = PutU64(p, record.node.value());
+    p = PutLit(p, ",\"placement\":\"");
+    p = PutToken(p, PlacementName(record.kind));
+    *p++ = '"';
+    p = PutLit(p, ",\"closest_match\":");
+    p = PutToken(p, record.used_closest_match ? "true" : "false");
+    p = PutLit(p, ",\"config_time\":");
+    p = PutU64(p, static_cast<std::uint64_t>(record.config_time));
+  }
+  if (record.config.valid()) {
+    p = PutLit(p, ",\"config\":");
+    p = PutU64(p, record.config.value());
+  }
+  p = PutLit(p, ",\"steps\":");
+  p = PutU64(p, static_cast<std::uint64_t>(record.attempt_steps));
+  p = PutLit(p, ",\"queue_depth\":");
+  p = PutU64(p, static_cast<std::uint64_t>(record.queue_depth));
+  p = PutLit(p, ",\"failed_nodes\":");
+  p = PutU64(p, static_cast<std::uint64_t>(record.failed_nodes));
+  p = PutLit(p, "}\n");
+  batch_.append(buf, static_cast<std::size_t>(p - buf));
+  if (batch_.size() > kJsonlBatchBytes - kJsonlMaxLineBytes) FlushJsonlBatch();
 }
 
 void RunTracer::Finish(Tick end) {

@@ -64,6 +64,14 @@ class RunTracer {
   /// `sim.SetEventLogger([&t](const core::SimEvent& e) { t.OnEvent(e); })`.
   void OnEvent(const core::SimEvent& event);
 
+  /// Explain-observer hook (--explain): appends one `"type":"explain"`
+  /// record to the JSONL stream, ordered exactly where it happened in the
+  /// event stream (the pending event burst is flushed first; explain
+  /// records are rare, so the burst serializer stays on its fast path).
+  /// Ignored in Chrome format — explain records are line-oriented data,
+  /// not spans.
+  void OnExplain(const core::ExplainRecord& record);
+
   /// Closes spans still open at `end` (running tasks, unrepaired nodes)
   /// and writes/flushes the output. Idempotent; the destructor calls it
   /// with the last seen tick if the caller did not.

@@ -1,5 +1,6 @@
 #include "resource/store.hpp"
 
+#include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 
 #include <algorithm>
@@ -247,6 +248,9 @@ EntryList& ResourceStore::busy_list_mut(ConfigId config) {
 
 std::optional<EntryRef> ResourceStore::FindBestIdleEntry(ConfigId config) {
   const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
+  // Not a scan fallback even in scan mode: this query has no index fast
+  // path in either kernel (the idle list is the primary structure).
+  obs::MetricInc(obs::MetricId::kStoreQueryIdleEntry);
   if (ShardAnswers()) {
     // Per-shard bucket scan; the charge is what FindMin pays per cell.
     const EntryList& list = idle_list(config);
@@ -272,6 +276,13 @@ bool FamilyOk(FamilyId required, const Node& n) {
 std::optional<NodeId> ResourceStore::FindBestBlankNode(Area needed_area,
                                                        FamilyId family) {
   const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
+  if (obs::MetricsRegistry::enabled()) {
+    auto& reg = obs::MetricsRegistry::Instance();
+    reg.Add(obs::MetricId::kStoreQueryBlank);
+    // Scan semantics (no StoreIndex) — K/thread-invariant: whether a shard
+    // broadcast executes the scan does not change the count.
+    if (!index_) reg.Add(obs::MetricId::kStoreScanFallback);
+  }
   if (ShardAnswers()) {
     // The reference scan visits every blank node, fit or not.
     meter_.Add(StepKind::kSchedulingSearch, blank_.size());
@@ -300,6 +311,11 @@ std::optional<NodeId> ResourceStore::FindBestBlankNode(Area needed_area,
 std::optional<NodeId> ResourceStore::FindBestPartiallyBlankNode(
     Area needed_area, FamilyId family) {
   const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
+  if (obs::MetricsRegistry::enabled()) {
+    auto& reg = obs::MetricsRegistry::Instance();
+    reg.Add(obs::MetricId::kStoreQueryPartialBlank);
+    if (!index_) reg.Add(obs::MetricId::kStoreScanFallback);
+  }
   if (ShardAnswers()) {
     // The reference scan walks the whole node list unconditionally.
     meter_.Add(StepKind::kSchedulingSearch, nodes_.size());
@@ -328,6 +344,11 @@ std::optional<NodeId> ResourceStore::FindBestPartiallyBlankNode(
 std::optional<ReconfigPlan> ResourceStore::FindAnyIdleNode(Area needed_area,
                                                            FamilyId family) {
   const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
+  if (obs::MetricsRegistry::enabled()) {
+    auto& reg = obs::MetricsRegistry::Instance();
+    reg.Add(obs::MetricId::kStoreQueryReclaim);
+    if (!index_) reg.Add(obs::MetricId::kStoreScanFallback);
+  }
   if (ShardAnswers()) {
     // The charge is the analytic count of node and slot visits the scan
     // would have made: one per node up to the winner (or all of them on a
@@ -389,6 +410,11 @@ std::optional<ReconfigPlan> ResourceStore::FindAnyIdleNode(Area needed_area,
 
 bool ResourceStore::AnyBusyNodeCouldFit(Area needed_area, FamilyId family) {
   const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
+  if (obs::MetricsRegistry::enabled()) {
+    auto& reg = obs::MetricsRegistry::Instance();
+    reg.Add(obs::MetricId::kStoreQueryBusyFit);
+    if (!index_) reg.Add(obs::MetricId::kStoreScanFallback);
+  }
   if (ShardAnswers()) {
     // The reference scan early-exits at the first qualifying node, having
     // charged one step per node up to it (all nodes on a miss).
@@ -414,6 +440,11 @@ bool ResourceStore::AnyBusyNodeCouldFit(Area needed_area, FamilyId family) {
 std::optional<NodeId> ResourceStore::FindBestIdleConfiguredNode(
     Area needed_area, FamilyId family) {
   const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
+  if (obs::MetricsRegistry::enabled()) {
+    auto& reg = obs::MetricsRegistry::Instance();
+    reg.Add(obs::MetricId::kStoreQueryIdleConfigured);
+    if (!index_) reg.Add(obs::MetricId::kStoreScanFallback);
+  }
   if (ShardAnswers()) {
     meter_.Add(StepKind::kSchedulingSearch, nodes_.size());
     return shard_->BestIdleConfigured(needed_area, family);
@@ -441,6 +472,11 @@ std::optional<NodeId> ResourceStore::FindRankedHostNode(Area needed_area,
                                                         HostRank rank,
                                                         FamilyId family) {
   const obs::ScopedPhaseTimer timer(obs::ProfPhase::kStoreQuery);
+  if (obs::MetricsRegistry::enabled()) {
+    auto& reg = obs::MetricsRegistry::Instance();
+    reg.Add(obs::MetricId::kStoreQueryRanked);
+    if (!index_) reg.Add(obs::MetricId::kStoreScanFallback);
+  }
   if (ShardAnswers()) {
     meter_.Add(StepKind::kSchedulingSearch, nodes_.size());
     return shard_->RankedHost(needed_area, rank, family);

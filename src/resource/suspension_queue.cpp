@@ -7,14 +7,24 @@ namespace dreamsim::resource {
 bool SuspensionQueue::Add(TaskId task, const SusEntryAttrs& attrs,
                           WorkloadMeter& meter) {
   meter.Add(StepKind::kHousekeeping);
-  if (capacity_ != 0 && queue_.size() >= capacity_) return false;
+  if (capacity_ != 0 && queue_.size() >= capacity_) {
+    obs::MetricInc(obs::MetricId::kSusOverflow);
+    return false;
+  }
   queue_.push_back(task);
   attrs_[task.value()] = attrs;
   if (index_) index_->Add(task, attrs);
+  if (obs::MetricsRegistry::enabled()) {
+    auto& reg = obs::MetricsRegistry::Instance();
+    reg.Add(obs::MetricId::kSusEnqueued);
+    reg.GaugeSet(obs::MetricId::kSusDepth, queue_.size());
+    reg.GaugeMax(obs::MetricId::kSusDepthPeak, queue_.size());
+  }
   return true;
 }
 
 bool SuspensionQueue::Contains(TaskId task, WorkloadMeter& meter) const {
+  if (!index_) obs::MetricInc(obs::MetricId::kSusqScanFallback);
   if (index_) {
     if (index_->Contains(task)) {
       // The scan stops at the hit: position + 1 visited entries.
@@ -37,6 +47,7 @@ void SuspensionQueue::RemoveAt(std::size_t index, WorkloadMeter& meter) {
 }
 
 bool SuspensionQueue::Remove(TaskId task, WorkloadMeter& meter) {
+  if (!index_) obs::MetricInc(obs::MetricId::kSusqScanFallback);
   if (index_) {
     if (!index_->Contains(task)) {
       meter.Add(StepKind::kHousekeeping, queue_.size());
@@ -84,6 +95,11 @@ void SuspensionQueue::EraseAt(std::size_t index) {
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
   attrs_.erase(task.value());
   if (index_) index_->Remove(task);
+  if (obs::MetricsRegistry::enabled()) {
+    auto& reg = obs::MetricsRegistry::Instance();
+    reg.Add(obs::MetricId::kSusRemoved);
+    reg.GaugeSet(obs::MetricId::kSusDepth, queue_.size());
+  }
 }
 
 }  // namespace dreamsim::resource

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "resource/sus_queue_index.hpp"
 #include "resource/workload_meter.hpp"
@@ -45,6 +46,7 @@ class SuspensionQueue {
   template <typename Pred>
   [[nodiscard]] std::optional<TaskId> PopFirstMatching(Pred&& pred,
                                                        WorkloadMeter& meter) {
+    obs::MetricInc(obs::MetricId::kSusqScanFallback);
     for (std::size_t i = 0; i < queue_.size(); ++i) {
       meter.Add(StepKind::kHousekeeping);
       if (pred(queue_[i])) {
@@ -91,11 +93,13 @@ class SuspensionQueue {
   [[nodiscard]] std::optional<std::size_t> OldestExactMatch(
       ConfigId config) const {
     const obs::ScopedPhaseTimer timer(obs::ProfPhase::kSusQueueQuery);
+    obs::MetricInc(obs::MetricId::kSusqQueryOldestExact);
     return index_->OldestExactMatch(config);  // lint: allow(uncharged-index-query)
   }
   [[nodiscard]] std::optional<std::size_t> BestPriorityExactMatch(
       ConfigId config) const {
     const obs::ScopedPhaseTimer timer(obs::ProfPhase::kSusQueueQuery);
+    obs::MetricInc(obs::MetricId::kSusqQueryBestPrioExact);
     return index_->BestPriorityExactMatch(config);  // lint: allow(uncharged-index-query)
   }
   /// `from` is a FIFO position (entries before it are skipped).
@@ -103,6 +107,7 @@ class SuspensionQueue {
       FamilyId family, Area area_bound, std::size_t from,
       ConfigId match_config) const {
     const obs::ScopedPhaseTimer timer(obs::ProfPhase::kSusQueueQuery);
+    obs::MetricInc(obs::MetricId::kSusqQueryOldestEligible);
     // lint: allow(uncharged-index-query)
     return index_->OldestEligible(family, area_bound,
                                   from == 0 ? TaskId::invalid() : queue_[from],
@@ -111,6 +116,7 @@ class SuspensionQueue {
   [[nodiscard]] std::optional<std::size_t> BestPriorityEligible(
       FamilyId family, Area area_bound, ConfigId match_config) const {
     const obs::ScopedPhaseTimer timer(obs::ProfPhase::kSusQueueQuery);
+    obs::MetricInc(obs::MetricId::kSusqQueryBestPrioEligible);
     // lint: allow(uncharged-index-query)
     return index_->BestPriorityEligible(family, area_bound, match_config);
   }

@@ -2,17 +2,32 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+
 namespace dreamsim::sim {
 
 EventHandle EventQueue::Push(Tick tick, EventPriority priority, Action action) {
   const std::uint64_t seq = next_sequence_++;
   heap_.push(Entry{tick, priority, seq});
   actions_.emplace(seq, std::move(action));
+  if (obs::MetricsRegistry::enabled()) {
+    auto& reg = obs::MetricsRegistry::Instance();
+    reg.Add(obs::MetricId::kEvqPushed);
+    reg.Add(obs::MetricId::kEvqHeapSifts);
+    reg.GaugeSet(obs::MetricId::kEvqDepth, actions_.size());
+    reg.GaugeMax(obs::MetricId::kEvqDepthPeak, actions_.size());
+  }
   return EventHandle{seq};
 }
 
 bool EventQueue::Cancel(EventHandle handle) {
-  return actions_.erase(handle.sequence) > 0;
+  const bool cancelled = actions_.erase(handle.sequence) > 0;
+  if (cancelled && obs::MetricsRegistry::enabled()) {
+    auto& reg = obs::MetricsRegistry::Instance();
+    reg.Add(obs::MetricId::kEvqCancelled);
+    reg.GaugeSet(obs::MetricId::kEvqDepth, actions_.size());
+  }
+  return cancelled;
 }
 
 void EventQueue::Reserve(std::size_t expected) {
@@ -23,6 +38,11 @@ void EventQueue::Reserve(std::size_t expected) {
 void EventQueue::DropDead() {
   while (!heap_.empty() && !actions_.contains(heap_.top().sequence)) {
     heap_.pop();
+    if (obs::MetricsRegistry::enabled()) {
+      auto& reg = obs::MetricsRegistry::Instance();
+      reg.Add(obs::MetricId::kEvqDeadDropped);
+      reg.Add(obs::MetricId::kEvqHeapSifts);
+    }
   }
 }
 
@@ -41,6 +61,12 @@ EventQueue::Popped EventQueue::Pop() {
   assert(it != actions_.end());
   Popped popped{top.tick, top.priority, top.sequence, std::move(it->second)};
   actions_.erase(it);
+  if (obs::MetricsRegistry::enabled()) {
+    auto& reg = obs::MetricsRegistry::Instance();
+    reg.Add(obs::MetricId::kEvqPopped);
+    reg.Add(obs::MetricId::kEvqHeapSifts);
+    reg.GaugeSet(obs::MetricId::kEvqDepth, actions_.size());
+  }
   return popped;
 }
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace dreamsim::sim {
 
 EventHandle Kernel::ScheduleAfter(Tick delay, EventPriority priority,
@@ -21,6 +23,13 @@ EventHandle Kernel::ScheduleAt(Tick at, EventPriority priority, Action action) {
 bool Kernel::Step() {
   if (queue_.empty()) return false;
   auto popped = queue_.Pop();
+  if (obs::MetricsRegistry::enabled()) {
+    // Simulated-time stride between consecutive executed events — a model-
+    // plane histogram: the event order is a pure function of (seed, config).
+    obs::MetricObserve(
+        obs::MetricId::kEventGapTicks,
+        static_cast<std::uint64_t>(popped.tick - clock_.now()));
+  }
   clock_.AdvanceTo(popped.tick);
   ++executed_;
   popped.action();

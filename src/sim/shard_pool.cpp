@@ -1,6 +1,30 @@
 #include "sim/shard_pool.hpp"
 
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
 namespace dreamsim::sim {
+namespace {
+
+[[nodiscard]] std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Host-plane per-job sample: shard job i records into per-shard cell i+1
+/// (cell 0 is the simulation thread's lane).
+void RecordJob(std::size_t i, std::uint64_t ns) {
+  auto& reg = obs::MetricsRegistry::Instance();
+  const std::size_t cell = i + 1;
+  reg.Add(obs::MetricId::kPoolJobsExecuted, 1, cell);
+  reg.Add(obs::MetricId::kPoolShardBusyNs, ns, cell);
+  reg.Observe(obs::MetricId::kPoolJobNs, ns, cell);
+}
+
+}  // namespace
 
 ShardPool::ShardPool(std::size_t threads) {
   const std::size_t spawn = threads > 1 ? threads - 1 : 0;
@@ -21,8 +45,29 @@ ShardPool::~ShardPool() {
 
 void ShardPool::Run(std::size_t jobs, const Job& job) {
   if (jobs == 0) return;
+  const bool instrumented = obs::MetricsRegistry::enabled();
+  std::uint64_t start_ns = 0;
+  if (instrumented) {
+    auto& reg = obs::MetricsRegistry::Instance();
+    reg.NoteShardCells(jobs);
+    reg.Add(obs::MetricId::kPoolBroadcasts);
+    reg.Observe(obs::MetricId::kPoolBatchJobs, jobs);
+    start_ns = NowNs();
+  }
   if (workers_.empty() || jobs == 1) {
-    for (std::size_t i = 0; i < jobs; ++i) job(i);
+    for (std::size_t i = 0; i < jobs; ++i) {
+      if (!instrumented) {
+        job(i);
+        continue;
+      }
+      const std::uint64_t job_start = NowNs();
+      job(i);
+      RecordJob(i, NowNs() - job_start);
+    }
+    if (instrumented) {
+      obs::MetricsRegistry::Instance().Observe(
+          obs::MetricId::kPoolBroadcastNs, NowNs() - start_ns);
+    }
     return;
   }
   {
@@ -38,19 +83,33 @@ void ShardPool::Run(std::size_t jobs, const Job& job) {
   {
     // Waiting on active_ == 0 under the mutex gives this thread an
     // acquire edge past every worker's release, publishing their writes.
+    const std::uint64_t join_start = instrumented ? NowNs() : 0;
     std::unique_lock<std::mutex> lock(mut_);
     done_cv_.wait(lock, [this] { return active_ == 0; });
     job_ = nullptr;
+    if (instrumented) {
+      const std::uint64_t end = NowNs();
+      auto& reg = obs::MetricsRegistry::Instance();
+      reg.Observe(obs::MetricId::kPoolJoinWaitNs, end - join_start);
+      reg.Observe(obs::MetricId::kPoolBroadcastNs, end - start_ns);
+    }
   }
 }
 
 void ShardPool::DrainJobs() {
   const Job& job = *job_;
   const std::size_t jobs = jobs_;
+  const bool instrumented = obs::MetricsRegistry::enabled();
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= jobs) break;
+    if (!instrumented) {
+      job(i);
+      continue;
+    }
+    const std::uint64_t job_start = NowNs();
     job(i);
+    RecordJob(i, NowNs() - job_start);
   }
   {
     const std::lock_guard<std::mutex> lock(mut_);

@@ -1,0 +1,259 @@
+// MetricsRegistry unit tests (DESIGN.md §16): catalogue well-formedness,
+// the log2 binning, per-cell merge rules (sum / max / bin-wise sum) in
+// fixed shard order, the enabled gate on the hot-path hooks, and the three
+// expositions (JSONL snapshot object, Prometheus text 0.0.4, report block).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics_export.hpp"
+
+namespace dreamsim::obs {
+namespace {
+
+/// Every test owns the global registry for its duration and hands it back
+/// disabled and zeroed (the process-wide default).
+struct ScopedRegistry {
+  ScopedRegistry() {
+    MetricsRegistry::SetEnabled(true);
+    MetricsRegistry::Instance().Reset();
+  }
+  ~ScopedRegistry() {
+    MetricsRegistry::SetEnabled(false);
+    MetricsRegistry::Instance().Reset();
+  }
+};
+
+std::size_t Index(MetricId id) { return static_cast<std::size_t>(id); }
+
+// --- Catalogue --------------------------------------------------------------
+
+TEST(MetricCatalogue, NamesAreUniqueAndDocumented) {
+  std::set<std::string_view> names;
+  for (const MetricInfo& info : kMetricInfo) {
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.help.empty()) << info.name;
+    EXPECT_TRUE(names.insert(info.name).second)
+        << "duplicate exposition name: " << info.name;
+  }
+  EXPECT_EQ(names.size(), kMetricCount);
+}
+
+TEST(MetricCatalogue, CountersFollowPromNamingConvention) {
+  for (const MetricInfo& info : kMetricInfo) {
+    if (info.kind != MetricKind::kCounter) continue;
+    EXPECT_TRUE(info.name.ends_with("_total"))
+        << "counter missing _total suffix: " << info.name;
+  }
+}
+
+TEST(MetricCatalogue, HistSlotsAreDenseAndExclusive) {
+  std::set<std::size_t> slots;
+  for (std::size_t m = 0; m < kMetricCount; ++m) {
+    if (kMetricInfo[m].kind == MetricKind::kHistogram) {
+      EXPECT_LT(kHistSlotOf[m], kHistMetricCount);
+      EXPECT_TRUE(slots.insert(kHistSlotOf[m]).second);
+    } else {
+      EXPECT_EQ(kHistSlotOf[m], kHistMetricCount);
+    }
+  }
+  EXPECT_EQ(slots.size(), kHistMetricCount);
+}
+
+// --- Binning ----------------------------------------------------------------
+
+TEST(MetricsRegistryTest, BinOfMatchesLog2Spacing) {
+  EXPECT_EQ(MetricsRegistry::BinOf(0), 0u);
+  EXPECT_EQ(MetricsRegistry::BinOf(1), 1u);
+  EXPECT_EQ(MetricsRegistry::BinOf(2), 2u);
+  EXPECT_EQ(MetricsRegistry::BinOf(3), 2u);
+  EXPECT_EQ(MetricsRegistry::BinOf(4), 3u);
+  EXPECT_EQ(MetricsRegistry::BinOf(1023), 10u);
+  EXPECT_EQ(MetricsRegistry::BinOf(1024), 11u);
+  // The last bin saturates.
+  EXPECT_EQ(MetricsRegistry::BinOf(~std::uint64_t{0}),
+            MetricsRegistry::kBins - 1);
+}
+
+// --- Merge rules ------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersAndGaugesSumAcrossCellsInUse) {
+  const ScopedRegistry scoped;
+  auto& reg = MetricsRegistry::Instance();
+  reg.Add(MetricId::kPoolJobsExecuted, 3, /*cell=*/1);
+  reg.Add(MetricId::kPoolJobsExecuted, 5, /*cell=*/2);
+  reg.Add(MetricId::kPoolJobsExecuted, 7, /*cell=*/4);  // beyond cells_used
+  reg.NoteShardCells(2);
+  const MetricsSnapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.cells_used, 3u);
+  // Only cells [0, cells_used) merge; cell 4 recorded but is not in use.
+  EXPECT_EQ(snap.value[Index(MetricId::kPoolJobsExecuted)], 8u);
+  EXPECT_EQ(snap.cell[Index(MetricId::kPoolJobsExecuted)][1], 3u);
+  EXPECT_EQ(snap.cell[Index(MetricId::kPoolJobsExecuted)][2], 5u);
+}
+
+TEST(MetricsRegistryTest, GaugeMaxMergesByMax) {
+  const ScopedRegistry scoped;
+  auto& reg = MetricsRegistry::Instance();
+  reg.GaugeMax(MetricId::kEvqDepthPeak, 10);
+  reg.GaugeMax(MetricId::kEvqDepthPeak, 4);  // lower write must not win
+  const MetricsSnapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.value[Index(MetricId::kEvqDepthPeak)], 10u);
+}
+
+TEST(MetricsRegistryTest, HistogramMergesBinWise) {
+  const ScopedRegistry scoped;
+  auto& reg = MetricsRegistry::Instance();
+  reg.Observe(MetricId::kEventGapTicks, 0);
+  reg.Observe(MetricId::kEventGapTicks, 3);
+  reg.Observe(MetricId::kEventGapTicks, 3);
+  reg.Observe(MetricId::kEventGapTicks, 100);
+  const MetricsSnapshot snap = reg.TakeSnapshot();
+  const MetricsSnapshot::Hist& h =
+      snap.hist[kHistSlotOf[Index(MetricId::kEventGapTicks)]];
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 106u);
+  EXPECT_EQ(h.max, 100u);
+  EXPECT_EQ(h.bins[MetricsRegistry::BinOf(0)], 1u);
+  EXPECT_EQ(h.bins[MetricsRegistry::BinOf(3)], 2u);
+  EXPECT_EQ(h.bins[MetricsRegistry::BinOf(100)], 1u);
+  // Histograms surface their sample count as the scalar value.
+  EXPECT_EQ(snap.value[Index(MetricId::kEventGapTicks)], 4u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesEverySlot) {
+  const ScopedRegistry scoped;
+  auto& reg = MetricsRegistry::Instance();
+  reg.Add(MetricId::kEvqPushed, 9);
+  reg.Observe(MetricId::kEventGapTicks, 42);
+  reg.NoteShardCells(4);
+  reg.Reset();
+  const MetricsSnapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.cells_used, 1u);
+  for (std::size_t m = 0; m < kMetricCount; ++m) {
+    EXPECT_EQ(snap.value[m], 0u) << kMetricInfo[m].name;
+  }
+}
+
+TEST(MetricsRegistryTest, ShardImbalanceDerivesFromBusyNs) {
+  const ScopedRegistry scoped;
+  auto& reg = MetricsRegistry::Instance();
+  reg.Add(MetricId::kPoolShardBusyNs, 100, /*cell=*/1);
+  reg.Add(MetricId::kPoolShardBusyNs, 300, /*cell=*/2);
+  reg.NoteShardCells(2);
+  // mean = 200, max = 300 -> 100 * (300 - 200) / 200 = 50%.
+  EXPECT_EQ(reg.TakeSnapshot().value[Index(MetricId::kShardImbalancePct)],
+            50u);
+}
+
+// --- Hook gate --------------------------------------------------------------
+
+TEST(MetricsRegistryTest, DisabledHooksAreInert) {
+  MetricsRegistry::SetEnabled(false);
+  MetricsRegistry::Instance().Reset();
+  MetricInc(MetricId::kEvqPushed);
+  MetricGaugeSet(MetricId::kEvqDepth, 5);
+  MetricGaugeMax(MetricId::kEvqDepthPeak, 5);
+  MetricObserve(MetricId::kEventGapTicks, 5);
+  const MetricsSnapshot snap = MetricsRegistry::Instance().TakeSnapshot();
+  EXPECT_EQ(snap.value[Index(MetricId::kEvqPushed)], 0u);
+  EXPECT_EQ(snap.value[Index(MetricId::kEvqDepth)], 0u);
+  EXPECT_EQ(snap.value[Index(MetricId::kEvqDepthPeak)], 0u);
+  EXPECT_EQ(snap.value[Index(MetricId::kEventGapTicks)], 0u);
+}
+
+TEST(MetricsRegistryTest, EnabledHooksRecord) {
+  const ScopedRegistry scoped;
+  MetricInc(MetricId::kEvqPushed, 2);
+  MetricGaugeSet(MetricId::kEvqDepth, 5);
+  MetricGaugeMax(MetricId::kEvqDepthPeak, 6);
+  MetricObserve(MetricId::kEventGapTicks, 7);
+  const MetricsSnapshot snap = MetricsRegistry::Instance().TakeSnapshot();
+  EXPECT_EQ(snap.value[Index(MetricId::kEvqPushed)], 2u);
+  EXPECT_EQ(snap.value[Index(MetricId::kEvqDepth)], 5u);
+  EXPECT_EQ(snap.value[Index(MetricId::kEvqDepthPeak)], 6u);
+  EXPECT_EQ(snap.value[Index(MetricId::kEventGapTicks)], 1u);
+}
+
+// --- Exposition -------------------------------------------------------------
+
+TEST(MetricsExport, FormatNamesRoundTrip) {
+  EXPECT_EQ(ParseMetricsFormat("json"), MetricsFormat::kJson);
+  EXPECT_EQ(ParseMetricsFormat("prom"), MetricsFormat::kProm);
+  EXPECT_EQ(ParseMetricsFormat("xml"), std::nullopt);
+  EXPECT_EQ(ToString(MetricsFormat::kJson), "json");
+  EXPECT_EQ(ToString(MetricsFormat::kProm), "prom");
+}
+
+TEST(MetricsExport, JsonSnapshotCarriesLabelsAndValues) {
+  const ScopedRegistry scoped;
+  auto& reg = MetricsRegistry::Instance();
+  reg.Add(MetricId::kEvqPushed, 11);
+  reg.Observe(MetricId::kEventGapTicks, 3);
+  const std::string json =
+      RenderMetricsJson(reg.TakeSnapshot(), Tick{120}, 7, /*final=*/true);
+  EXPECT_NE(json.find("\"type\":\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"tick\":120"), std::string::npos);
+  EXPECT_NE(json.find("\"seq\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"final\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"dreamsim_evq_pushed_total\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"dreamsim_event_gap_ticks\":{\"count\":1,\"sum\":3"),
+            std::string::npos);
+}
+
+TEST(MetricsExport, JsonModelPlaneExcludesHostMetrics) {
+  const ScopedRegistry scoped;
+  auto& reg = MetricsRegistry::Instance();
+  reg.Add(MetricId::kPoolBroadcasts, 5);
+  const std::string json = RenderMetricsJson(
+      reg.TakeSnapshot(), Tick{0}, 0, /*final=*/false, /*include_host=*/false);
+  EXPECT_EQ(json.find("pool_broadcasts_total"), std::string::npos);
+  EXPECT_EQ(json.find("shard_imbalance_pct"), std::string::npos);
+  EXPECT_NE(json.find("dreamsim_evq_pushed_total"), std::string::npos);
+}
+
+TEST(MetricsExport, PromExpositionIsWellFormed) {
+  const ScopedRegistry scoped;
+  auto& reg = MetricsRegistry::Instance();
+  reg.Add(MetricId::kEvqPushed, 11);
+  reg.Observe(MetricId::kEventGapTicks, 3);
+  reg.Observe(MetricId::kEventGapTicks, 3);
+  reg.Add(MetricId::kPoolJobsExecuted, 4, /*cell=*/1);
+  reg.NoteShardCells(1);
+  const std::string prom = RenderMetricsProm(reg.TakeSnapshot());
+  EXPECT_NE(prom.find("# HELP dreamsim_evq_pushed_total"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE dreamsim_evq_pushed_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dreamsim_evq_pushed_total 11\n"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE dreamsim_event_gap_ticks histogram\n"),
+            std::string::npos);
+  // v=3 lands in the le="3" bucket ([2, 4)); buckets are cumulative.
+  EXPECT_NE(prom.find("dreamsim_event_gap_ticks_bucket{le=\"3\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dreamsim_event_gap_ticks_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dreamsim_event_gap_ticks_sum 6\n"), std::string::npos);
+  EXPECT_NE(prom.find("dreamsim_event_gap_ticks_count 2\n"),
+            std::string::npos);
+  // Per-shard metrics expose one labelled series per shard cell in use.
+  EXPECT_NE(prom.find("dreamsim_pool_jobs_executed_total{shard=\"0\"} 4\n"),
+            std::string::npos);
+}
+
+TEST(MetricsExport, ReportBlockListsOnlyNonZeroMetrics) {
+  const ScopedRegistry scoped;
+  auto& reg = MetricsRegistry::Instance();
+  reg.Add(MetricId::kTasksCompleted, 42);
+  const std::string block = RenderMetricsBlock(reg.TakeSnapshot());
+  EXPECT_NE(block.find("-- live metrics (final snapshot, non-zero) --"),
+            std::string::npos);
+  EXPECT_NE(block.find("tasks_completed_total"), std::string::npos);
+  EXPECT_EQ(block.find("tasks_discarded_total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dreamsim::obs

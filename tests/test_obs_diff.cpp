@@ -1,14 +1,17 @@
 // Differential proof that the observability layer is a pure observer
-// (ISSUE acceptance): with RunTracer, TimeSeriesSampler, and the
-// PhaseProfiler all enabled, every MetricsReport field — fault block
-// included — and the UtilizationReport are bit-identical to an
-// observability-free run, in both index modes, with and without faults.
+// (ISSUE acceptance): with RunTracer, TimeSeriesSampler, the PhaseProfiler,
+// the live MetricsRegistry, and the --explain decision observer all
+// enabled, every MetricsReport field — fault block included — and the
+// UtilizationReport are bit-identical to an observability-free run, in both
+// index modes, with and without faults, across 20+ seeds including
+// multi-class scenario workloads.
 #include <gtest/gtest.h>
 
 #include <sstream>
 #include <vector>
 
 #include "core/simulator.hpp"
+#include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/run_tracer.hpp"
 #include "obs/timeline.hpp"
@@ -24,10 +27,12 @@ using core::Simulator;
 struct ObsCase {
   bool indexed = true;
   bool faults = false;
+  bool multi_class = false;
 };
 
 void PrintTo(const ObsCase& c, std::ostream* os) {
-  *os << (c.indexed ? "indexed" : "scan") << (c.faults ? " faults" : "");
+  *os << (c.indexed ? "indexed" : "scan") << (c.faults ? " faults" : "")
+      << (c.multi_class ? " multi-class" : "");
 }
 
 SimulationConfig MakeConfig(const ObsCase& c, std::uint64_t seed) {
@@ -49,6 +54,26 @@ SimulationConfig MakeConfig(const ObsCase& c, std::uint64_t seed) {
     config.faults.script = {{300, NodeId{2}, FaultAction::kFail},
                             {1'500, NodeId{2}, FaultAction::kRepair}};
     config.max_suspension_retries = 8;
+  }
+  if (c.multi_class) {
+    // A steady class plus a bursty chain-bearing class: the merged
+    // multi-class timeline and chain-release hooks must stay untouched by
+    // the observers just like the single-stream path.
+    workload::TaskClassParams steady;
+    steady.name = "steady";
+    steady.base = config.tasks;
+    steady.base.total_tasks = 160;
+    workload::TaskClassParams bursty;
+    bursty.name = "bursty";
+    bursty.base = config.tasks;
+    bursty.base.total_tasks = 120;
+    bursty.shape = workload::ArrivalShape::kBursty;
+    bursty.min_burst = 3;
+    bursty.max_burst = 6;
+    bursty.min_burst_gap = 200;
+    bursty.max_burst_gap = 600;
+    bursty.graph_fraction = 0.2;
+    config.task_classes = {steady, bursty};
   }
   return config;
 }
@@ -72,6 +97,8 @@ RunResult RunObserved(const ObsCase& c, std::uint64_t seed,
                       obs::TraceFormat format) {
   obs::PhaseProfiler::SetEnabled(true);
   obs::PhaseProfiler::Instance().Reset();
+  obs::MetricsRegistry::SetEnabled(true);
+  obs::MetricsRegistry::Instance().Reset();
   std::ostringstream trace_out;
   std::ostringstream timeline_out;
   Simulator sim(MakeConfig(c, seed));
@@ -86,16 +113,30 @@ RunResult RunObserved(const ObsCase& c, std::uint64_t seed,
       [&tracer](const core::SimEvent& e) { tracer.OnEvent(e); });
   sim.SetStateObserver(
       [&sampler](const core::StateSample& s) { sampler.Observe(s); });
+  // Every scheduling decision is explained (empty filter = all tasks).
+  std::size_t explained = 0;
+  sim.SetExplainObserver([&tracer, &explained](const core::ExplainRecord& r) {
+    ++explained;
+    tracer.OnExplain(r);
+  });
   RunResult result;
   result.report = sim.Run();
   result.utilization = sim.utilization();
   tracer.Finish(sim.kernel().now());
   sampler.Finish(sim.kernel().now());
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::Instance().TakeSnapshot();
+  obs::MetricsRegistry::SetEnabled(false);
+  obs::MetricsRegistry::Instance().Reset();
   obs::PhaseProfiler::SetEnabled(false);
   // The observers must actually have seen the run for this diff to mean
   // anything.
   EXPECT_GT(tracer.events_seen(), 0u);
   EXPECT_GT(sampler.observations(), 0u);
+  EXPECT_GT(explained, 0u);
+  EXPECT_GT(snap.value[static_cast<std::size_t>(
+                obs::MetricId::kTasksCompleted)],
+            0u);
   EXPECT_GT(
       obs::PhaseProfiler::Instance().stats(obs::ProfPhase::kAllocation).calls,
       0u);
@@ -167,10 +208,27 @@ TEST_P(ObsDiff, ObservedRunsAreBitIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(ObsCombos, ObsDiff,
-                         ::testing::Values(ObsCase{true, false},
-                                           ObsCase{false, false},
-                                           ObsCase{true, true},
-                                           ObsCase{false, true}));
+                         ::testing::Values(ObsCase{true, false, false},
+                                           ObsCase{false, false, false},
+                                           ObsCase{true, true, false},
+                                           ObsCase{false, true, false},
+                                           ObsCase{true, false, true},
+                                           ObsCase{false, false, true}));
+
+// ISSUE acceptance: bit-identity across >= 20 seeds, fault runs and
+// multi-class scenario runs included, with the metrics registry and the
+// explain observer live in every observed run.
+TEST(ObsDiffSeeds, TwentySeedsBitIdenticalWithMetricsAndExplain) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ObsCase c;
+    c.indexed = (seed % 2) == 0;
+    c.faults = (seed % 4) == 1;       // seeds 1, 5, 9, 13, 17
+    c.multi_class = (seed % 4) == 3;  // seeds 3, 7, 11, 15, 19
+    const RunResult plain = RunPlain(c, seed);
+    ExpectIdentical(RunObserved(c, seed, obs::TraceFormat::kJsonl), plain);
+    if (HasFatalFailure()) return;
+  }
+}
 
 }  // namespace
 }  // namespace dreamsim

@@ -11,8 +11,10 @@
 #include <string>
 
 #include "analysis/corruptor.hpp"
+#include "obs/metrics.hpp"
 #include "resource/store.hpp"
 #include "resource/suspension_queue.hpp"
+#include "resource/task.hpp"
 #include "sim/event_queue.hpp"
 
 namespace dreamsim::analysis {
@@ -201,6 +203,94 @@ TEST(StructureAuditorCorruption, OrphanActionIsEvqOrphanAction) {
   const AuditReport report = StructureAuditor::AuditEventQueue(queue, 0);
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(Slugs(report), std::set<std::string>{"evq.orphan-action"})
+      << report.Render();
+}
+
+// --- Metrics conservation (DESIGN.md §16) -----------------------------------
+
+/// Enables + resets the live registry for one test, restoring the disabled
+/// default on exit so the global singleton never leaks state across tests.
+struct ScopedMetricsRegistry {
+  ScopedMetricsRegistry() {
+    obs::MetricsRegistry::SetEnabled(true);
+    obs::MetricsRegistry::Instance().Reset();
+  }
+  ~ScopedMetricsRegistry() {
+    obs::MetricsRegistry::SetEnabled(false);
+    obs::MetricsRegistry::Instance().Reset();
+  }
+};
+
+TEST(StructureAuditorMetrics, DisabledRegistryAuditsEmpty) {
+  const ResourceStore store = MakePopulatedStore(/*indexed=*/false);
+  const SuspensionQueue queue;
+  const sim::EventQueue events;
+  const resource::TaskStore tasks;
+  ASSERT_FALSE(obs::MetricsRegistry::enabled());
+  EXPECT_TRUE(
+      StructureAuditor::AuditMetrics(store, queue, events, tasks).ok());
+}
+
+TEST(StructureAuditorMetrics, ConservationHoldsOnInstrumentedOps) {
+  const ScopedMetricsRegistry scoped;
+  const ResourceStore store = MakePopulatedStore(/*indexed=*/false);
+  SuspensionQueue queue;
+  WorkloadMeter meter;
+  sim::EventQueue events;
+  const resource::TaskStore tasks;
+  // Drive only instrumented paths: counters and structures move together.
+  (void)events.Push(10, sim::EventPriority::kArrival, [] {});
+  const sim::EventHandle h =
+      events.Push(20, sim::EventPriority::kCompletion, [] {});
+  ASSERT_TRUE(events.Cancel(h));
+  SusEntryAttrs attrs;
+  attrs.resolved_config = ConfigId{0};
+  attrs.needed_area = 100;
+  ASSERT_TRUE(queue.Add(TaskId{0}, attrs, meter));
+  ASSERT_TRUE(queue.Add(TaskId{1}, attrs, meter));
+  ASSERT_TRUE(queue.Remove(TaskId{0}, meter));
+  const AuditReport report =
+      StructureAuditor::AuditMetrics(store, queue, events, tasks);
+  EXPECT_TRUE(report.ok()) << report.Render();
+}
+
+TEST(StructureAuditorMetrics, SkewedCounterIsMetricsConservation) {
+  const ScopedMetricsRegistry scoped;
+  const ResourceStore store = MakePopulatedStore(/*indexed=*/false);
+  SuspensionQueue queue;
+  WorkloadMeter meter;
+  const sim::EventQueue events;
+  const resource::TaskStore tasks;
+  SusEntryAttrs attrs;
+  attrs.resolved_config = ConfigId{0};
+  attrs.needed_area = 100;
+  ASSERT_TRUE(queue.Add(TaskId{0}, attrs, meter));
+  ASSERT_TRUE(
+      StructureAuditor::AuditMetrics(store, queue, events, tasks).ok());
+  // Seeded corruption: the counter claims one enqueue the FIFO never saw.
+  obs::MetricsRegistry::Instance().Add(obs::MetricId::kSusEnqueued);
+  const AuditReport report =
+      StructureAuditor::AuditMetrics(store, queue, events, tasks);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(Slugs(report), std::set<std::string>{"metrics.conservation"})
+      << report.Render();
+}
+
+TEST(StructureAuditorMetrics, SkewedGaugeIsMetricsConservation) {
+  const ScopedMetricsRegistry scoped;
+  const ResourceStore store = MakePopulatedStore(/*indexed=*/false);
+  const SuspensionQueue queue;
+  sim::EventQueue events;
+  const resource::TaskStore tasks;
+  (void)events.Push(10, sim::EventPriority::kArrival, [] {});
+  ASSERT_TRUE(
+      StructureAuditor::AuditMetrics(store, queue, events, tasks).ok());
+  // Seeded corruption: stale depth gauge (a missed update on some path).
+  obs::MetricsRegistry::Instance().GaugeSet(obs::MetricId::kEvqDepth, 7);
+  const AuditReport report =
+      StructureAuditor::AuditMetrics(store, queue, events, tasks);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(Slugs(report), std::set<std::string>{"metrics.conservation"})
       << report.Render();
 }
 

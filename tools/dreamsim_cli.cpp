@@ -19,6 +19,8 @@
 #include "core/simulator.hpp"
 #include "core/sweep.hpp"
 #include "scenario/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_export.hpp"
 #include "obs/profiler.hpp"
 #include "obs/run_tracer.hpp"
 #include "obs/timeline.hpp"
@@ -145,6 +147,18 @@ void RegisterFlags(CliParser& cli) {
   cli.AddString("timeline-out", "",
                 "write an interval-sampled system-state time series (CSV)");
   cli.AddInt("sample-interval", 100, "timeline sampling interval (ticks)");
+  cli.AddString("metrics-out", "",
+                "write live metrics-registry snapshots to this path (see "
+                "--metrics-format)");
+  cli.AddString("metrics-format", "json",
+                "metrics output format: json (tick-interval JSONL snapshots)"
+                "|prom (final Prometheus text exposition)");
+  cli.AddInt("metrics-interval", 10000,
+             "ticks between JSONL metric snapshots (json format only)");
+  cli.AddString("explain", "",
+                "comma-separated TaskIds whose scheduling decisions are "
+                "recorded as explain records in the jsonl --run-trace "
+                "('all' = every task)");
   cli.AddBool("profile", false,
               "profile scheduler phases (host wall time; report on stdout)");
   // Scenario files (docs/formats.md).
@@ -359,6 +373,47 @@ obs::TraceFormat RequireTraceFormat(const CliParser& cli) {
   return *format;
 }
 
+obs::MetricsFormat RequireMetricsFormat(const CliParser& cli) {
+  const std::string name = cli.GetString("metrics-format");
+  const auto format = obs::ParseMetricsFormat(name);
+  if (!format) {
+    throw std::invalid_argument(
+        Format("unknown metrics format '{}' (want json|prom)", name));
+  }
+  return *format;
+}
+
+/// Parses --explain: "all" (empty filter = every task) or a comma-separated
+/// TaskId list.
+std::vector<TaskId> ParseExplainTasks(const std::string& spec) {
+  std::vector<TaskId> tasks;
+  if (spec == "all") return tasks;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(start, end - start);
+    if (token.empty()) {
+      throw std::invalid_argument(
+          "--explain wants 'all' or comma-separated task ids");
+    }
+    std::size_t consumed = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(token, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != token.size() || value > 0xfffffffful) {
+      throw std::invalid_argument(
+          Format("--explain: '{}' is not a task id", token));
+    }
+    tasks.push_back(TaskId{static_cast<std::uint32_t>(value)});
+    start = end + 1;
+  }
+  return tasks;
+}
+
 void MaybeWriteXml(const CliParser& cli, const core::MetricsReport& report) {
   const std::string prefix = cli.GetString("xml");
   if (prefix.empty()) return;
@@ -391,6 +446,23 @@ int RunSingleOrCompare(const CliParser& cli) {
   const obs::TraceFormat trace_format = RequireTraceFormat(cli);
   const bool profile = cli.GetBool("profile");
   if (profile) obs::PhaseProfiler::SetEnabled(true);
+  const std::string metrics_out = cli.GetString("metrics-out");
+  const obs::MetricsFormat metrics_format = RequireMetricsFormat(cli);
+  const auto metrics_interval = static_cast<Tick>(cli.GetInt("metrics-interval"));
+  const bool explain = cli.WasSet("explain");
+  if (explain &&
+      (run_trace.empty() || trace_format != obs::TraceFormat::kJsonl)) {
+    throw std::invalid_argument(
+        "--explain records ride the run trace: add --run-trace=FILE with "
+        "--trace-format=jsonl");
+  }
+  const std::vector<TaskId> explain_tasks =
+      explain ? ParseExplainTasks(cli.GetString("explain"))
+              : std::vector<TaskId>{};
+  // The registry is process-global: enable once, reset per run so each
+  // report/snapshot covers exactly one run.
+  const bool metrics_enabled = !metrics_out.empty() || explain;
+  if (metrics_enabled) obs::MetricsRegistry::SetEnabled(true);
 
   std::vector<core::MetricsReport> reports;
   for (const auto mode : modes) {
@@ -432,10 +504,33 @@ int RunSingleOrCompare(const CliParser& cli) {
       info.nodes = simulator.store().node_count();
       tracer = std::make_unique<obs::RunTracer>(path, trace_format,
                                                 std::move(info));
-      simulator.SetEventLogger(
-          [&tracer](const core::SimEvent& event) { tracer->OnEvent(event); });
       std::cout << "tracing run to " << path << " ("
                 << obs::ToString(trace_format) << ")\n";
+    }
+    std::unique_ptr<obs::MetricsSnapshotWriter> metrics_writer;
+    if (!metrics_out.empty()) {
+      const std::string path =
+          PerModePath(metrics_out, mode_name, modes.size() > 1);
+      metrics_writer = std::make_unique<obs::MetricsSnapshotWriter>(
+          path, metrics_format, metrics_interval);
+      std::cout << "metrics to " << path << " ("
+                << obs::ToString(metrics_format) << ")\n";
+    }
+    if (tracer || metrics_writer) {
+      simulator.SetEventLogger(
+          [&tracer, &metrics_writer](const core::SimEvent& event) {
+            if (tracer) tracer->OnEvent(event);
+            if (metrics_writer) metrics_writer->OnEvent(event);
+          });
+    }
+    if (explain) {
+      // RequireTraceFormat/--explain validation above guarantees a jsonl
+      // tracer exists here.
+      simulator.SetExplainObserver(
+          [&tracer](const core::ExplainRecord& record) {
+            tracer->OnExplain(record);
+          },
+          explain_tasks);
     }
     std::unique_ptr<obs::TimeSeriesSampler> sampler;
     if (!timeline_out.empty()) {
@@ -450,11 +545,17 @@ int RunSingleOrCompare(const CliParser& cli) {
       std::cout << "sampling timeline to " << path << "\n";
     }
     if (profile) obs::PhaseProfiler::Instance().Reset();
+    if (metrics_enabled) obs::MetricsRegistry::Instance().Reset();
 
     reports.push_back(trace ? simulator.RunWithWorkload(*trace)
                             : simulator.Run());
     const Tick end = simulator.kernel().now();
+    if (metrics_enabled) {
+      reports.back().metrics_block = obs::RenderMetricsBlock(
+          obs::MetricsRegistry::Instance().TakeSnapshot());
+    }
     if (tracer) tracer->Finish(end);
+    if (metrics_writer) metrics_writer->Finish(end);
     if (sampler) sampler->Finish(end);
     if (profile) {
       std::cout << "\n[" << mode_name << "] "
@@ -495,7 +596,8 @@ int RunSingleOrCompare(const CliParser& cli) {
 /// Per-run traces/timelines only exist for single and --compare runs;
 /// sweeps and replications run many simulators in parallel.
 void WarnUnsupportedObs(const CliParser& cli, std::string_view where) {
-  for (const std::string_view flag : {"run-trace", "timeline-out"}) {
+  for (const std::string_view flag :
+       {"run-trace", "timeline-out", "metrics-out", "explain"}) {
     if (!cli.GetString(flag).empty()) {
       std::cerr << "warning: --" << flag << " is ignored under --" << where
                 << "\n";

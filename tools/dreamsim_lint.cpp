@@ -37,6 +37,14 @@
 //                              or the shard-bucket API, so scans cannot
 //                              dodge the modeled-effort charges or the
 //                              merge-order contract.
+//   metric-catalogue           every MetricInc/MetricGaugeSet/MetricGaugeMax/
+//                              MetricObserve call names a literal
+//                              MetricId::k... token from
+//                              obs/metric_catalogue.hpp, and no product file
+//                              outside the catalogue spells a "dreamsim_..."
+//                              exposition name as a string literal — ad-hoc
+//                              metric names would bypass the catalogue's
+//                              stable-name + merge-rule declaration.
 //
 // Suppressions: `// lint: allow(<rule>)` on the finding's line or the line
 // above; `// lint: allow-file(<rule>)` anywhere in the file. Exit status 1
@@ -429,6 +437,124 @@ void CheckEntryCellsIteration(const Source& src,
   }
 }
 
+// --- Rule 8: metric-catalogue ---------------------------------------------
+
+/// Blanks comments only, keeping string literals (so catalogue-name string
+/// scans do not trip on names mentioned in prose).
+std::string BlankComments(const std::string& in) {
+  std::string out = in;
+  enum class State { kCode, kLine, kBlock, kString, kChar } state = State::kCode;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'' && i > 0 &&
+                   !(std::isalnum(static_cast<unsigned char>(in[i - 1])) ||
+                     in[i - 1] == '_')) {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          ++i;
+        } else if (c == (state == State::kString ? '"' : '\'')) {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+void CheckMetricCatalogue(const Source& src, std::vector<Finding>& findings) {
+  const std::string stem = Stem(src.path);
+  // A registry hook call must pass a literal catalogue token as its id —
+  // a computed id (cast, variable) dodges the single-source-of-names rule.
+  static const std::vector<std::string_view> kHooks = {
+      "MetricInc", "MetricGaugeSet", "MetricGaugeMax", "MetricObserve"};
+  for (const std::string_view hook : kHooks) {
+    for (const std::size_t hit : FindWord(src.clean, hook)) {
+      std::size_t i = hit + hook.size();
+      while (i < src.clean.size() &&
+             std::isspace(static_cast<unsigned char>(src.clean[i]))) {
+        ++i;
+      }
+      if (i >= src.clean.size() || src.clean[i] != '(') continue;
+      // The hook definitions themselves declare `MetricId id` parameters.
+      std::size_t before = hit;
+      while (before > 0 &&
+             std::isspace(static_cast<unsigned char>(src.clean[before - 1]))) {
+        --before;
+      }
+      std::size_t word_begin = before;
+      while (word_begin > 0 && IsWordChar(src.clean[word_begin - 1])) {
+        --word_begin;
+      }
+      if (std::string_view(src.clean.data() + word_begin,
+                           before - word_begin) == "void") {
+        continue;
+      }
+      // First argument: everything up to the first top-level ',' or ')'.
+      std::size_t j = i + 1;
+      int depth = 1;
+      const std::size_t arg_begin = j;
+      while (j < src.clean.size() && depth > 0) {
+        const char c = src.clean[j];
+        if (c == '(' || c == '<') ++depth;
+        if (c == ')' || c == '>') --depth;
+        if (c == ',' && depth == 1) break;
+        ++j;
+      }
+      const std::string_view arg(src.clean.data() + arg_begin, j - arg_begin);
+      if (arg.find("MetricId::k") != std::string_view::npos) continue;
+      Report(findings, src, hit, "metric-catalogue",
+             std::string(hook) +
+                 " must name a literal MetricId::k... token from "
+                 "obs/metric_catalogue.hpp (no computed ids)");
+    }
+  }
+  // Product code never spells a prefixed exposition name by hand: names
+  // are derived from the catalogue (tests may assert rendered names).
+  const bool product = src.path.rfind("src/", 0) == 0 ||
+                       src.path.rfind("tools/", 0) == 0;
+  if (!product || stem == "metric_catalogue") return;
+  const std::string code = BlankComments(src.raw);
+  std::size_t pos = 0;
+  while ((pos = code.find("\"dreamsim_", pos)) != std::string::npos) {
+    Report(findings, src, pos, "metric-catalogue",
+           "ad-hoc \"dreamsim_...\" metric name; exposition names come from "
+           "obs/metric_catalogue.hpp");
+    pos += 10;
+  }
+}
+
 /// Member names declared as unordered containers in `clean`.
 std::set<std::string> UnorderedMembers(const std::string& clean) {
   std::set<std::string> members;
@@ -578,6 +704,7 @@ int main(int argc, char** argv) {
     CheckUnchargedQueries(src, findings);
     CheckNondeterminism(src, findings);
     CheckEntryCellsIteration(src, findings);
+    CheckMetricCatalogue(src, findings);
     const auto slash = src.path.find_last_of('/');
     const std::string dir =
         slash == std::string::npos ? "" : src.path.substr(0, slash);
