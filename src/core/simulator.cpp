@@ -204,7 +204,10 @@ TaskId Simulator::SubmitTaskAt(const workload::GeneratedTask& task, Tick at) {
   ++submitted_tasks_;
   const TaskId id =
       jobs_.SubmitOne(task, at, [this](TaskId tid) { HandleArrival(tid); });
-  if (was_drained) RearmFaults();
+  if (was_drained) {
+    kernel_role_.AssertHeld();
+    RearmFaults();
+  }
   return id;
 }
 
@@ -289,7 +292,10 @@ MetricsReport Simulator::RunWithWorkload(const workload::Workload& wl) {
   if (ran_) throw std::logic_error("Simulator instances are single-use");
   ran_ = true;
   submitted_tasks_ += jobs_.Submit(wl, [this](TaskId id) { HandleArrival(id); });
-  if (faults_.enabled() && submitted_tasks_ > terminal_tasks_) RearmFaults();
+  if (faults_.enabled() && submitted_tasks_ > terminal_tasks_) {
+    kernel_role_.AssertHeld();
+    RearmFaults();
+  }
   (void)kernel_.Run();
   return FinishReport();
 }
@@ -809,6 +815,7 @@ void Simulator::ArmFailure(NodeId node) {
   if (terminal_tasks_ >= submitted_tasks_) return;
   fault_process_events_[node.value()] = kernel_.ScheduleAfter(
       faults_.NextFailureDelay(), sim::EventPriority::kControl, [this, node] {
+        kernel_role_.AssertHeld();
         fault_process_events_[node.value()] = {};
         ApplyFault(node, FaultAction::kFail);
         if (faults_.params().repairs_enabled()) ArmRepair(node);
@@ -819,6 +826,7 @@ void Simulator::ArmRepair(NodeId node) {
   if (terminal_tasks_ >= submitted_tasks_) return;
   fault_process_events_[node.value()] = kernel_.ScheduleAfter(
       faults_.NextRepairDelay(), sim::EventPriority::kControl, [this, node] {
+        kernel_role_.AssertHeld();
         fault_process_events_[node.value()] = {};
         ApplyFault(node, FaultAction::kRepair);
         ArmFailure(node);
@@ -850,6 +858,7 @@ void Simulator::ScheduleFaultScript() {
     // construction.
     pending.handle = kernel_.ScheduleAt(
         pending.event.at, sim::EventPriority::kControl, [this, i] {
+          kernel_role_.AssertHeld();
           ScriptedFault& entry = fault_script_[i];
           entry.handle = {};
           entry.fired = true;
@@ -953,6 +962,7 @@ void Simulator::HandleNodeRepair(NodeId node_id) {
 void Simulator::NoteTerminal() {
   ++terminal_tasks_;
   if (faults_.enabled() && terminal_tasks_ >= submitted_tasks_) {
+    kernel_role_.AssertHeld();
     CancelPendingFaultEvents();
   }
 }

@@ -227,6 +227,17 @@ class MetricsRegistry {
         pct > 0.0 ? static_cast<std::uint64_t>(pct) : 0;
   }
 
+  /// Cell-lane ownership (DESIGN.md §17): cell 0 is the simulation
+  /// thread's lane; cell i+1 is written only by the shard job holding job
+  /// index i of the current broadcast. Every slot is a relaxed atomic, so a
+  /// convention breach is a reporting bug, never a data race — which is why
+  /// the lanes are NOT ThreadRole capabilities: pool workers legitimately
+  /// claim different job indexes each broadcast, and concurrent replication
+  /// drivers (tools/sweep, tools/replication) share this process-global
+  /// bank, so no lane has a stable owning thread to bind. The
+  /// atomics-discipline lint rule enforces the other half of the contract:
+  /// cells stay memory_order_relaxed, and model-plane code never grows its
+  /// own atomics.
   std::array<Cell, kCells> cell_bank_{};
   std::atomic<std::uint64_t> shard_cells_{0};
 };

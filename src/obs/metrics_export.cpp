@@ -230,6 +230,7 @@ MetricsSnapshotWriter::~MetricsSnapshotWriter() {
 }
 
 void MetricsSnapshotWriter::OnEvent(const core::SimEvent& event) {
+  role_.AssertHeld();
   last_tick_ = event.tick;
   if (format_ != MetricsFormat::kJson || event.tick < next_boundary_) return;
   next_boundary_ = (event.tick / interval_ + 1) * interval_;
@@ -242,6 +243,7 @@ void MetricsSnapshotWriter::OnEvent(const core::SimEvent& event) {
 }
 
 void MetricsSnapshotWriter::Finish(Tick end) {
+  role_.AssertHeld();
   if (finished_) return;
   finished_ = true;
   const MetricsSnapshot snap = MetricsRegistry::Instance().TakeSnapshot();

@@ -18,6 +18,8 @@
 
 #include "core/simulator.hpp"
 #include "obs/metrics.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
 namespace dreamsim::obs {
@@ -75,7 +77,7 @@ class MetricsSnapshotWriter {
   [[nodiscard]] std::size_t snapshots_written() const { return snapshots_; }
 
  private:
-  std::ofstream out_;
+  std::ofstream out_ GUARDED_BY(role_);
   MetricsFormat format_;
   Tick interval_;
   Tick last_tick_ = 0;
@@ -85,6 +87,9 @@ class MetricsSnapshotWriter {
   std::uint64_t seq_ = 0;
   std::size_t snapshots_ = 0;
   bool finished_ = false;
+  /// Single-writer contract (DESIGN.md §17): the simulation thread owns
+  /// the snapshot stream; OnEvent/Finish assert the role.
+  util::ThreadRole role_;
 };
 
 }  // namespace dreamsim::obs

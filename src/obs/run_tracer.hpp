@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "core/simulator.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
 namespace dreamsim::obs {
@@ -90,22 +92,23 @@ class RunTracer {
     sched::PlacementKind placement{};
   };
 
-  void WriteJsonlMeta();
-  void WriteJsonlEvent(const core::SimEvent& event);
+  void WriteJsonlMeta() REQUIRES(role_);
+  void WriteJsonlEvent(const core::SimEvent& event) REQUIRES(role_);
   /// Serializes the pending JSONL events in one burst.
-  void SerializeJsonlPending();
+  void SerializeJsonlPending() REQUIRES(role_);
   /// Writes the buffered JSONL batch to the output stream.
-  void FlushJsonlBatch();
-  void ChromeOnEvent(const core::SimEvent& event);
+  void FlushJsonlBatch() REQUIRES(role_);
+  void ChromeOnEvent(const core::SimEvent& event) REQUIRES(role_);
   /// Emits the setup + execution spans of one placement ending (completed
   /// or killed) at `end_tick`.
   void ChromeCloseTask(TaskId task, const OpenTask& open, Tick end_tick,
-                       bool killed);
+                       bool killed) REQUIRES(role_);
   void ChromeSpan(std::string_view name, std::string_view category,
-                  std::uint32_t tid, Tick start, Tick duration);
+                  std::uint32_t tid, Tick start, Tick duration)
+      REQUIRES(role_);
   void ChromeInstant(std::string_view name, std::string_view category,
-                     std::uint32_t tid, Tick at);
-  void WriteChromeDocument(Tick end);
+                     std::uint32_t tid, Tick at) REQUIRES(role_);
+  void WriteChromeDocument(Tick end) REQUIRES(role_);
   /// The scheduler (non-node) track id: one past the node tracks.
   [[nodiscard]] std::uint32_t SchedulerTid() const;
 
@@ -122,14 +125,24 @@ class RunTracer {
   /// batch (not one ostream call) at a time. The burst keeps the serializer
   /// and its buffers cache-warm, and batching the writes avoids a stream
   /// sentry per event (bench_obs gates the overhead).
-  std::vector<core::SimEvent> pending_;
-  std::string batch_;
+  std::vector<core::SimEvent> pending_ GUARDED_BY(role_);
+  std::string batch_ GUARDED_BY(role_);
 
   // --- Chrome-format buffering ---
-  std::vector<std::string> chrome_events_;  // pre-rendered JSON objects
-  std::unordered_map<std::uint32_t, OpenTask> open_tasks_;   // by TaskId
-  std::unordered_map<std::uint32_t, Tick> down_since_;       // by NodeId
-  std::vector<bool> node_seen_;  // tracks needing thread metadata
+  /// Pre-rendered JSON objects.
+  std::vector<std::string> chrome_events_ GUARDED_BY(role_);
+  std::unordered_map<std::uint32_t, OpenTask> open_tasks_
+      GUARDED_BY(role_);  // by TaskId
+  std::unordered_map<std::uint32_t, Tick> down_since_
+      GUARDED_BY(role_);  // by NodeId
+  /// Tracks needing thread metadata.
+  std::vector<bool> node_seen_ GUARDED_BY(role_);
+
+  /// Single-writer contract (DESIGN.md §17): the simulation thread owns
+  /// every buffer above; each hook asserts the role, so a second writer
+  /// thread aborts in debug builds and new unguarded paths fail under
+  /// -Werror=thread-safety.
+  util::ThreadRole role_;
 };
 
 }  // namespace dreamsim::obs

@@ -83,6 +83,7 @@ void TimeSeriesSampler::CatchUpTo(Tick t) {
 }
 
 void TimeSeriesSampler::Observe(const core::StateSample& sample) {
+  role_.AssertHeld();
   ++observations_;
   if (!have_sample_) {
     // Anchor the grid at the first observation (the same tick the
@@ -97,6 +98,7 @@ void TimeSeriesSampler::Observe(const core::StateSample& sample) {
 }
 
 void TimeSeriesSampler::Finish(Tick end) {
+  role_.AssertHeld();
   if (finished_) return;
   finished_ = true;
   if (have_sample_) {

@@ -20,6 +20,8 @@
 #include <string>
 
 #include "core/simulator.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
 namespace dreamsim::obs {
@@ -52,18 +54,18 @@ class TimeSeriesSampler {
   [[nodiscard]] std::size_t observations() const { return observations_; }
 
  private:
-  void EmitRow(Tick at);
+  void EmitRow(Tick at) REQUIRES(role_);
   /// Emits every grid point strictly before `t` (they see the held sample).
-  void CatchUpTo(Tick t);
+  void CatchUpTo(Tick t) REQUIRES(role_);
   /// Writes the buffered rows to the output stream.
-  void FlushBatch();
+  void FlushBatch() REQUIRES(role_);
 
   std::ofstream owned_out_;
   std::ostream& sink_;
   /// Rows are all-integer and emitted on the simulator's hot path, so they
   /// are serialized with std::to_chars into this batch and written out one
   /// batch (not one ostream call) at a time (bench_obs gates the overhead).
-  std::string batch_;
+  std::string batch_ GUARDED_BY(role_);
   std::size_t rows_ = 0;
   Tick interval_;
   Tick next_grid_ = 0;         // next grid tick to emit
@@ -71,6 +73,9 @@ class TimeSeriesSampler {
   bool have_sample_ = false;
   std::size_t observations_ = 0;
   bool finished_ = false;
+  /// Single-writer contract (DESIGN.md §17): the simulation thread owns
+  /// the row batch; Observe/Finish assert the role.
+  util::ThreadRole role_;
 };
 
 }  // namespace dreamsim::obs

@@ -64,6 +64,7 @@ std::uint32_t ShardEngine::ShardOf(const Node& node) const {
 }
 
 void ShardEngine::AddNode(const Node& node, Area busy_area) {
+  sim_role_.AssertHeld();
   const std::uint32_t id = node.id().value();
   if (id != shard_of_.size()) {
     throw std::logic_error("ShardEngine::AddNode: node ids must be dense");
@@ -76,16 +77,19 @@ void ShardEngine::AddNode(const Node& node, Area busy_area) {
 }
 
 void ShardEngine::Refresh(const Node& node, Area busy_area) {
+  sim_role_.AssertHeld();
   indexes_[shard_of_[node.id().value()]]->Refresh(node, busy_area);
   ++epoch_;
 }
 
 void ShardEngine::SetIndexed(bool enabled) {
+  sim_role_.AssertHeld();
   indexed_ = enabled;
   bundle_.keyed = false;
 }
 
 void ShardEngine::PrefetchDecision(Area needed_area, FamilyId family) {
+  sim_role_.AssertHeld();
   EnsureBundle(needed_area, family, QueryGroup::kBlank);
 }
 
@@ -238,8 +242,12 @@ void ShardEngine::EnsureBundle(Area needed_area, FamilyId family,
       ComputeIndexed(s, needed_area, family, group, bundle_.answers[s]);
     }
   } else {
+    // Hand each job a direct reference to the answer vector: jobs write
+    // only their own pre-sized slot (the ShardPool contract), so the
+    // guarded bundle_ itself is never touched off the simulation thread.
+    std::vector<ShardAnswer>& answers = bundle_.answers;
     pool_->Run(members_.size(), [&](std::size_t s) {
-      ComputeScan(s, needed_area, family, group, bundle_.answers[s]);
+      ComputeScan(s, needed_area, family, group, answers[s]);
     });
   }
   bundle_.have[g] = true;
@@ -251,6 +259,7 @@ void ShardEngine::EnsureBundle(Area needed_area, FamilyId family,
 
 std::optional<NodeId> ShardEngine::BestBlank(Area needed_area,
                                              FamilyId family) {
+  sim_role_.AssertHeld();
   EnsureBundle(needed_area, family, QueryGroup::kBlank);
   std::optional<NodeId> best;
   Area best_total = 0;
@@ -269,6 +278,7 @@ std::optional<NodeId> ShardEngine::BestBlank(Area needed_area,
 
 std::optional<NodeId> ShardEngine::BestPartiallyBlank(Area needed_area,
                                                       FamilyId family) {
+  sim_role_.AssertHeld();
   EnsureBundle(needed_area, family, QueryGroup::kRest);
   std::optional<NodeId> best;
   Area best_avail = 0;
@@ -285,6 +295,7 @@ std::optional<NodeId> ShardEngine::BestPartiallyBlank(Area needed_area,
 
 std::optional<NodeId> ShardEngine::BestIdleConfigured(Area needed_area,
                                                       FamilyId family) {
+  sim_role_.AssertHeld();
   EnsureBundle(needed_area, family, QueryGroup::kRest);
   std::optional<NodeId> best;
   Area best_total = 0;
@@ -302,6 +313,7 @@ std::optional<NodeId> ShardEngine::BestIdleConfigured(Area needed_area,
 
 std::optional<NodeId> ShardEngine::AnyBusyFitNode(Area needed_area,
                                                   FamilyId family) {
+  sim_role_.AssertHeld();
   EnsureBundle(needed_area, family, QueryGroup::kRest);
   std::optional<NodeId> best;
   for (const ShardAnswer& a : bundle_.answers) {
@@ -313,6 +325,7 @@ std::optional<NodeId> ShardEngine::AnyBusyFitNode(Area needed_area,
 
 std::optional<ReconfigPlan> ShardEngine::FindAnyIdle(Area needed_area,
                                                      FamilyId family) {
+  sim_role_.AssertHeld();
   EnsureBundle(needed_area, family, QueryGroup::kRest);
   const ReconfigPlan* best = nullptr;
   for (const ShardAnswer& a : bundle_.answers) {
@@ -327,6 +340,7 @@ std::optional<ReconfigPlan> ShardEngine::FindAnyIdle(Area needed_area,
 
 std::optional<NodeId> ShardEngine::RankedHost(Area needed_area, HostRank rank,
                                               FamilyId family) {
+  sim_role_.AssertHeld();
   EnsureBundle(needed_area, family, QueryGroup::kRanked);
   std::optional<NodeId> best;
   Area best_avail = 0;

@@ -39,6 +39,8 @@
 #include "resource/store.hpp"
 #include "resource/store_index.hpp"
 #include "sim/shard_pool.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dreamsim::resource {
 
@@ -181,7 +183,8 @@ class ShardEngine {
     std::vector<ShardAnswer> answers;  // indexed by shard
   };
 
-  void EnsureBundle(Area needed_area, FamilyId family, QueryGroup group);
+  void EnsureBundle(Area needed_area, FamilyId family, QueryGroup group)
+      REQUIRES(sim_role_);
   void ComputeScan(std::size_t shard, Area needed_area, FamilyId family,
                    QueryGroup group, ShardAnswer& answer) const;
   void ComputeIndexed(std::size_t shard, Area needed_area, FamilyId family,
@@ -198,11 +201,20 @@ class ShardEngine {
   const std::vector<Area>* busy_area_view_ = nullptr;
   ShardBy by_;
   bool indexed_ = true;
+  /// Thread-ownership contract (DESIGN.md §17): the decision cache and its
+  /// epoch are mutated by the simulation thread only — pool jobs write
+  /// exclusively into their own ShardAnswer slot, handed to them by
+  /// reference. Every public mutator/query asserts the role; a new helper
+  /// touching the cache without it fails under -Werror=thread-safety.
+  /// members_/indexes_/shard_of_ are read shared by the broadcast jobs and
+  /// mutated only between broadcasts (TSan covers that phase discipline).
+  util::ThreadRole sim_role_;
   std::vector<std::vector<std::uint32_t>> members_;  // shard -> ascending ids
   std::vector<std::unique_ptr<StoreIndex>> indexes_;  // sparse, per shard
   std::vector<std::uint32_t> shard_of_;               // node id -> shard
-  std::uint64_t epoch_ = 0;  // bumped on every mutation; keys the cache
-  Bundle bundle_;
+  /// Bumped on every mutation; keys the cache.
+  std::uint64_t epoch_ GUARDED_BY(sim_role_) = 0;
+  Bundle bundle_ GUARDED_BY(sim_role_);
   std::unique_ptr<sim::ShardPool> pool_;
 };
 

@@ -36,10 +36,10 @@ ShardPool::ShardPool(std::size_t threads) {
 
 ShardPool::~ShardPool() {
   {
-    const std::lock_guard<std::mutex> lock(mut_);
+    const util::MutexLock lock(mut_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -71,21 +71,21 @@ void ShardPool::Run(std::size_t jobs, const Job& job) {
     return;
   }
   {
-    const std::lock_guard<std::mutex> lock(mut_);
+    const util::MutexLock lock(mut_);
     jobs_ = jobs;
     job_ = &job;
     next_.store(0, std::memory_order_relaxed);
     active_ = workers_.size() + 1;  // workers + this thread
     ++round_;
   }
-  work_cv_.notify_all();
-  DrainJobs();
+  work_cv_.NotifyAll();
+  DrainJobs(job, jobs);
   {
     // Waiting on active_ == 0 under the mutex gives this thread an
     // acquire edge past every worker's release, publishing their writes.
     const std::uint64_t join_start = instrumented ? NowNs() : 0;
-    std::unique_lock<std::mutex> lock(mut_);
-    done_cv_.wait(lock, [this] { return active_ == 0; });
+    const util::MutexLock lock(mut_);
+    while (active_ != 0) done_cv_.Wait(mut_);
     job_ = nullptr;
     if (instrumented) {
       const std::uint64_t end = NowNs();
@@ -96,9 +96,7 @@ void ShardPool::Run(std::size_t jobs, const Job& job) {
   }
 }
 
-void ShardPool::DrainJobs() {
-  const Job& job = *job_;
-  const std::size_t jobs = jobs_;
+void ShardPool::DrainJobs(const Job& job, std::size_t jobs) {
   const bool instrumented = obs::MetricsRegistry::enabled();
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
@@ -112,23 +110,26 @@ void ShardPool::DrainJobs() {
     RecordJob(i, NowNs() - job_start);
   }
   {
-    const std::lock_guard<std::mutex> lock(mut_);
+    const util::MutexLock lock(mut_);
     --active_;
-    if (active_ == 0) done_cv_.notify_all();
+    if (active_ == 0) done_cv_.NotifyAll();
   }
 }
 
 void ShardPool::WorkerLoop() {
   std::uint64_t seen_round = 0;
   for (;;) {
+    const Job* job = nullptr;
+    std::size_t jobs = 0;
     {
-      std::unique_lock<std::mutex> lock(mut_);
-      work_cv_.wait(lock,
-                    [&] { return stop_ || round_ != seen_round; });
+      const util::MutexLock lock(mut_);
+      while (!stop_ && round_ == seen_round) work_cv_.Wait(mut_);
       if (stop_) return;
       seen_round = round_;
+      job = job_;
+      jobs = jobs_;
     }
-    DrainJobs();
+    DrainJobs(*job, jobs);
   }
 }
 

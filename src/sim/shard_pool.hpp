@@ -8,15 +8,23 @@
 // pre-sized result vector, and the merge that reads those slots happens after
 // Run() returns, on the calling thread, in fixed job order — never in
 // completion order.
+//
+// The broadcast state (round counter, job queue, worker lifecycle) is
+// annotated for Clang's thread-safety analysis (DESIGN.md §17): every
+// member crossing the worker boundary is GUARDED_BY(mut_), so a new code
+// path that reads the job queue without the mutex fails to compile under
+// -Werror=thread-safety (cmake/ThreadSafety.cmake proves this with a
+// negative compile probe through ShardPoolTsaProbe).
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dreamsim::sim {
 
@@ -37,26 +45,34 @@ class ShardPool {
   /// Executes `job(i)` for every i in [0, jobs) across the pool and the
   /// calling thread; returns after all jobs complete. The mutex handoff on
   /// completion publishes every job's writes to the caller.
-  void Run(std::size_t jobs, const Job& job);
+  void Run(std::size_t jobs, const Job& job) EXCLUDES(mut_);
 
   /// Total OS threads participating in a Run() (workers + caller).
   [[nodiscard]] std::size_t threads() const { return workers_.size() + 1; }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mut_);
   /// Claims and executes jobs until the counter drains, then reports done.
-  void DrainJobs();
+  /// `job`/`jobs` are the round's broadcast, read under the mutex by the
+  /// caller (workers) or still-local (Run), so the drain itself never
+  /// touches guarded state outside its completion handshake.
+  void DrainJobs(const Job& job, std::size_t jobs) EXCLUDES(mut_);
 
-  std::mutex mut_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t round_ = 0;      // generation counter; bumped per Run()
-  std::size_t jobs_ = 0;         // job count of the current round
-  const Job* job_ = nullptr;     // current round's job (valid while active)
-  std::atomic<std::size_t> next_{0};  // next unclaimed job index
-  std::size_t active_ = 0;       // workers still draining this round
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  // The compile-fail probe in cmake/ThreadSafety.cmake: reads jobs_ without
+  // mut_ and must NOT build under -Werror=thread-safety (the annotations'
+  // non-vacuity check). Not defined anywhere in the product tree.
+  friend class ShardPoolTsaProbe;
+
+  util::Mutex mut_;
+  util::CondVar work_cv_;
+  util::CondVar done_cv_;
+  std::uint64_t round_ GUARDED_BY(mut_) = 0;  // generation; bumped per Run()
+  std::size_t jobs_ GUARDED_BY(mut_) = 0;     // job count of current round
+  const Job* job_ GUARDED_BY(mut_) = nullptr;  // current round's job
+  std::atomic<std::size_t> next_{0};  // next unclaimed job index (relaxed)
+  std::size_t active_ GUARDED_BY(mut_) = 0;  // threads still draining
+  bool stop_ GUARDED_BY(mut_) = false;
+  std::vector<std::thread> workers_;  // set in ctor, joined in dtor only
 };
 
 }  // namespace dreamsim::sim

@@ -1,0 +1,6 @@
+// Positive: model-plane code growing atomics of its own.
+#include <atomic>  // expect: atomics-discipline
+
+std::atomic<long> g_hits{0};  // expect: atomics-discipline
+
+void Touch() { g_hits.fetch_add(1); }

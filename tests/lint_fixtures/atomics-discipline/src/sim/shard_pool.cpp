@@ -1,0 +1,4 @@
+// Negative: the shard pool is the sanctioned concurrency primitive.
+#include <atomic>
+
+std::atomic<unsigned> next_{0};

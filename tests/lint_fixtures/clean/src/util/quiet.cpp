@@ -1,0 +1,3 @@
+// Negative-only fixture: nothing here trips any rule, so the whole tree
+// must lint clean (exit code 0).
+long Tidy() { return 42; }

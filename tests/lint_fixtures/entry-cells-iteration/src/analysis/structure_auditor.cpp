@@ -1,0 +1,4 @@
+// Negative: the auditor reconstructs ground truth from the raw cells.
+struct EntryList;
+
+long Audit(const EntryList& list) { return Walk(list.cells()); }

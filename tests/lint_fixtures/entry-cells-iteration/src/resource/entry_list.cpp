@@ -1,0 +1,2 @@
+// Negative: the owner reads its own cell storage.
+long Total() { return Walk(cells()); }

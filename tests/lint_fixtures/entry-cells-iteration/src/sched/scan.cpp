@@ -1,0 +1,14 @@
+// Direct raw-cell access outside the owner and the audit tooling.
+struct EntryList;
+struct Cell;
+
+long Scan(const EntryList& list) {
+  long count = 0;
+  for (const Cell& cell : list.cells()) {  // expect: entry-cells-iteration
+    count += cell.value;
+  }
+  // Negative: `cells` not followed by `(` is some other member, and a
+  // free function named cells() is not a member call.
+  long cells = count;
+  return cells + Walk(cells_table());
+}

@@ -1,0 +1,7 @@
+// Positive: a non-owner pokes EntryList's intrusive members directly.
+struct EntryList;
+
+void Poke(EntryList& list) {
+  list.cells_[0].next = 0;  // expect: list-internals
+  list.table_used_ -= 1;    // expect: list-internals
+}

@@ -1,0 +1,13 @@
+// Negative: the metrics registry IS a merge owner — its snapshot reduces
+// the cell bank in fixed shard order.
+struct ShardCell;
+
+struct Registry {
+  long Merge() const {
+    long total = 0;
+    for (const ShardCell& cell : cell_bank_) {
+      total += cell.value;
+    }
+    return total;
+  }
+};

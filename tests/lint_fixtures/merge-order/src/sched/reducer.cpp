@@ -1,0 +1,20 @@
+// Loops over shard-indexed state outside the merge owners.
+struct ShardAnswer;
+struct Rows;
+
+long Sum(const Rows& rows, const Rows& engine) {
+  long total = 0;
+  // Positive: a shard-typed element loop in a non-owner.
+  for (const ShardAnswer& a : rows) {  // expect: merge-order
+    total += a.value;
+  }
+  // Positive: a classic for bounded by the shard count.
+  for (unsigned k = 0; k < engine.shard_count(); ++k) {  // expect: merge-order
+    total += static_cast<long>(k);
+  }
+  // Negative: an ordinary loop over ordinary state.
+  for (const auto& row : rows.items()) {
+    total += row.value;
+  }
+  return total;
+}

@@ -1,0 +1,14 @@
+// Registry hooks must name literal catalogue tokens, and product code
+// never spells a prefixed exposition name by hand.
+enum class MetricId;
+
+void Record(MetricId id) {
+  MetricInc(id, 1);  // expect: metric-catalogue
+  MetricInc(MetricId::kTasksCompleted, 1);
+  MetricGaugeSet(MetricId::kBusyNodes, 7);
+}
+
+const char* kAdHoc = "dreamsim_rogue_total";  // expect: metric-catalogue
+
+// Negative: the hook's own definition declares a MetricId parameter.
+void MetricInc(MetricId id, long delta);

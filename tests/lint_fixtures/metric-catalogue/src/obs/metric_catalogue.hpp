@@ -1,0 +1,2 @@
+// Negative: the catalogue is the one place exposition names are spelled.
+inline const char* kName = "dreamsim_tasks_completed_total";

@@ -1,0 +1,21 @@
+// Entropy and wall-clock sources outside util/rng.
+struct Timer;
+
+long Bad() { return rand(); }        // expect: nondeterminism
+void Seed(unsigned s) { srand(s); }  // expect: nondeterminism
+long Wall() { return time(nullptr); }  // expect: nondeterminism
+long Entropy() {
+  std::random_device rd;  // expect: nondeterminism
+  return 1;
+}
+long Tick() {
+  return std::chrono::system_clock::now()  // expect: nondeterminism
+      .time_since_epoch()
+      .count();
+}
+
+// Negatives: member calls named time() are not libc time(), and longer
+// identifiers containing the banned words are not matches.
+long FineMember(const Timer& t) { return t.time(); }
+long FineArrow(Timer* t) { return t->time(); }
+long FineWord() { return timestamp(); }

@@ -1,0 +1,2 @@
+// Negative: util/rng owns entropy and may wrap the raw sources.
+unsigned Draw() { return rand(); }

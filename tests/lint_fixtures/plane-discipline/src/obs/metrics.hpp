@@ -1,0 +1,3 @@
+// Sanctioned hook; its own include of another obs header stays behind
+// the sealed boundary.
+#include "obs/run_tracer.hpp"

@@ -1,0 +1,6 @@
+// Negative: the sanctioned metric hooks may cross the plane boundary,
+// and the closure walk does not descend into them (obs/metrics.hpp here
+// includes an unsanctioned header; that is obs-internal wiring).
+#include "obs/metrics.hpp"
+
+void Touch() {}

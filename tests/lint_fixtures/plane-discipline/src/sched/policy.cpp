@@ -1,0 +1,5 @@
+// Positive: the breach is transitive — the util header drags the
+// host-plane timeline writer into a model-plane TU.
+#include "util/bridge.hpp"  // expect: plane-discipline
+
+void Decide() {}

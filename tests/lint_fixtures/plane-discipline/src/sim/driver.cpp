@@ -1,0 +1,4 @@
+// Positive: a model-plane TU includes a host-plane obs header directly.
+#include "obs/run_tracer.hpp"  // expect: plane-discipline
+
+void Drive() {}

@@ -1,0 +1,3 @@
+// Not itself model-plane, so no finding here — but model-plane TUs that
+// include this header inherit its obs reach.
+#include "obs/timeline.hpp"

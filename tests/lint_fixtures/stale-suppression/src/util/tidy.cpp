@@ -1,0 +1,4 @@
+// Suppressions with nothing left to suppress are themselves findings.
+/* expect: stale-suppression */ // lint: allow(nondeterminism)
+long Quiet() { return 7; }
+/* expect: stale-suppression */ // lint: allow-file(entry-cells-iteration)

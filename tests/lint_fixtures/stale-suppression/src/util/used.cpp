@@ -1,0 +1,5 @@
+// Negative: both placements of a live suppression — the line above the
+// finding and the finding's own line — fire and are therefore not stale.
+// lint: allow(nondeterminism)
+long Seeded() { return rand(); }
+long Rolled() { return rand(); }  // lint: allow(nondeterminism)

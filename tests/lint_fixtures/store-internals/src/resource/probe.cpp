@@ -1,0 +1,7 @@
+// Positive: a non-owner reaches into ResourceStore's intrusive mirrors.
+struct ResourceStore;
+
+void Probe(ResourceStore& store) {
+  store.idle_lists_.clear();  // expect: store-internals
+  store.busy_area_ = 0;       // expect: store-internals
+}

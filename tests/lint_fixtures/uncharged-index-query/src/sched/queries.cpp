@@ -1,0 +1,20 @@
+// Modeled-effort contract: every function body that calls an indexed
+// query must also charge the WorkloadMeter.
+struct Store;
+struct Meter {
+  void Add(long steps);
+};
+
+// Positive: a query with no visible charge in the enclosing function.
+long Bad(Store& store) {
+  return store.OldestExactMatch(3);  // expect: uncharged-index-query
+}
+
+// Negative: the charge sits beside the call.
+long Good(Store& store, Meter& meter) {
+  meter.Add(12);
+  return store.BestPriorityEligible(3);
+}
+
+// Negative: a qualified name is the query's definition, not a call site.
+long Store::OldestExactMatch(long key) { return key; }

@@ -1,0 +1,20 @@
+// A sharded-kernel source seeding a reduction from an unordered member.
+#include <unordered_map>
+
+struct ShardEngine {
+  std::unordered_map<int, int> pending_;
+};
+
+long Merge(ShardEngine& engine) {
+  long total = 0;
+  // Positive: cross-shard reduction in hash order.
+  for (const auto& [key, value] : engine.pending_) {  // expect: unordered-merge
+    total += value;
+  }
+  // Negative: an ordered container is fine.
+  std::vector<int> ordered;
+  for (int value : ordered) {
+    total += value;
+  }
+  return total;
+}

@@ -1,0 +1,13 @@
+#include "obs/report_writer.hpp"
+
+void ReportWriter::Write() {
+  // Positive: hash order leaks straight into the report bytes.
+  for (const auto& [key, value] : totals_) {  // expect: unordered-writer-iteration
+    Emit(key, value);
+  }
+  // Negative: collect-and-sort makes the iteration order deterministic.
+  std::vector<int> keys;
+  for (int key : keys) {
+    Emit(key, 0);
+  }
+}

@@ -1,0 +1,10 @@
+// Header declaring the unordered member the writer .cpp iterates.
+#include <unordered_map>
+
+class ReportWriter {
+ public:
+  void Write();
+
+ private:
+  std::unordered_map<int, long> totals_;
+};

@@ -1,740 +1,15 @@
-// dreamsim_lint — repo-specific structural lint for the DReAMSim tree.
+// dreamsim_lint — structural lint over the dreamsim tree.
 //
-// Plain-text C++ source analysis (no libclang): comments and string
-// literals are blanked, brace structure is recovered by matching, and the
-// repo rules are enforced on what remains:
+// The engine lives in tools/lint/ (source model + tokenizer in
+// source.{hpp,cpp}, rule registry + driver in engine.{hpp,cpp}, the
+// built-in rules in rules.cpp). This TU is just the entry point.
 //
-//   list-internals             EntryList's cells_/table_/table_used_ are
-//                              touched only by entry_list.{hpp,cpp}.
-//                              (buckets_/shard_of_ collide with other
-//                              structures' member names and are covered by
-//                              entry-cells-iteration instead.)
-//   store-internals            ResourceStore's intrusive mirrors
-//                              (idle_lists_, busy_lists_, blank_pos_,
-//                              busy_area_, ...) are touched only by
-//                              store.{hpp,cpp}.
-//   uncharged-index-query      every function body that calls an indexed
-//                              scheduler/drain query also charges the
-//                              WorkloadMeter (the modeled-effort contract:
-//                              O(log) answers must pay the scan's steps).
-//   nondeterminism             no rand()/srand()/time()/random_device/
-//                              system_clock outside util/rng — runs are a
-//                              pure function of (seed, config).
-//   unordered-writer-iteration report/trace writers never range-for over
-//                              unordered members (hash order would leak
-//                              into output bytes; collect + sort instead).
-//   unordered-merge            sharded-kernel sources (shard_engine and
-//                              the partitioned entry_list alike) never
-//                              range-for over unordered members (a
-//                              cross-shard reduction seeded by hash order
-//                              would break the deterministic-merge
-//                              contract; reduce in fixed shard order over
-//                              ordered state).
-//   entry-cells-iteration      EntryList's raw cell storage (.cells()) is
-//                              read only by entry_list itself and the
-//                              structure auditor/corruptor — every other
-//                              consumer goes through the counted queries
-//                              or the shard-bucket API, so scans cannot
-//                              dodge the modeled-effort charges or the
-//                              merge-order contract.
-//   metric-catalogue           every MetricInc/MetricGaugeSet/MetricGaugeMax/
-//                              MetricObserve call names a literal
-//                              MetricId::k... token from
-//                              obs/metric_catalogue.hpp, and no product file
-//                              outside the catalogue spells a "dreamsim_..."
-//                              exposition name as a string literal — ad-hoc
-//                              metric names would bypass the catalogue's
-//                              stable-name + merge-rule declaration.
+//   dreamsim_lint [--root <repo-root>] [--fix-hints] [--list-rules]
+//                 [subdir...]
 //
-// Suppressions: `// lint: allow(<rule>)` on the finding's line or the line
-// above; `// lint: allow-file(<rule>)` anywhere in the file. Exit status 1
-// when findings remain, 0 on a clean tree.
-//
-// Usage: dreamsim_lint [--root <repo-root>] [subdir...]
-//        (default subdirs: src tools tests bench)
-#include <algorithm>
-#include <cctype>
-#include <cstdint>
-#include <filesystem>
-#include <fstream>
-#include <iostream>
-#include <map>
-#include <set>
-#include <sstream>
-#include <string>
-#include <string_view>
-#include <vector>
-
-namespace {
-
-namespace fs = std::filesystem;
-
-struct Finding {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-/// One source file, raw and with comments/strings blanked (same length, so
-/// offsets and line numbers agree between the two views).
-struct Source {
-  std::string path;      // repo-relative, '/' separators
-  std::string raw;
-  std::string clean;     // comments + string/char literals -> spaces
-  std::vector<std::size_t> line_starts;  // offset of each line's first char
-
-  [[nodiscard]] std::size_t LineOf(std::size_t offset) const {
-    const auto it = std::upper_bound(line_starts.begin(), line_starts.end(),
-                                     offset);
-    return static_cast<std::size_t>(it - line_starts.begin());
-  }
-  [[nodiscard]] std::string_view RawLine(std::size_t line) const {
-    const std::size_t begin = line_starts[line - 1];
-    const std::size_t end = line < line_starts.size()
-                                ? line_starts[line] - 1
-                                : raw.size();
-    return std::string_view(raw).substr(begin, end - begin);
-  }
-};
-
-/// Blanks //-comments, /*...*/ comments, "..." and '...' literals with
-/// spaces (newlines preserved). Digit separators (1'000) are not treated
-/// as char literals.
-std::string BlankCommentsAndStrings(const std::string& in) {
-  std::string out = in;
-  enum class State { kCode, kLine, kBlock, kString, kChar } state = State::kCode;
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const char c = in[i];
-    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLine;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlock;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-          out[i] = ' ';
-        } else if (c == '\'' && i > 0 &&
-                   !(std::isalnum(static_cast<unsigned char>(in[i - 1])) ||
-                     in[i - 1] == '_')) {
-          state = State::kChar;
-          out[i] = ' ';
-        }
-        break;
-      case State::kLine:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar: {
-        const char quote = state == State::kString ? '"' : '\'';
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == quote) {
-          out[i] = ' ';
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-Source LoadSource(const fs::path& abs, std::string rel) {
-  std::ifstream in(abs, std::ios::binary);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  Source src;
-  src.path = std::move(rel);
-  src.raw = buffer.str();
-  src.clean = BlankCommentsAndStrings(src.raw);
-  src.line_starts.push_back(0);
-  for (std::size_t i = 0; i < src.raw.size(); ++i) {
-    if (src.raw[i] == '\n') src.line_starts.push_back(i + 1);
-  }
-  return src;
-}
-
-bool IsWordChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Finds whole-word occurrences of `token` in `text`.
-std::vector<std::size_t> FindWord(const std::string& text,
-                                  std::string_view token) {
-  std::vector<std::size_t> hits;
-  std::size_t pos = 0;
-  while ((pos = text.find(token, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !IsWordChar(text[pos - 1]);
-    const std::size_t end = pos + token.size();
-    const bool right_ok = end >= text.size() || !IsWordChar(text[end]);
-    if (left_ok && right_ok) hits.push_back(pos);
-    pos = end;
-  }
-  return hits;
-}
-
-/// True when the finding at `line` is suppressed by an allow annotation.
-bool Suppressed(const Source& src, std::size_t line, std::string_view rule) {
-  const std::string file_tag = "lint: allow-file(" + std::string(rule) + ")";
-  if (src.raw.find(file_tag) != std::string::npos) return true;
-  const std::string tag = "lint: allow(" + std::string(rule) + ")";
-  for (const std::size_t l : {line, line > 1 ? line - 1 : line}) {
-    if (src.RawLine(l).find(tag) != std::string_view::npos) return true;
-  }
-  return false;
-}
-
-void Report(std::vector<Finding>& findings, const Source& src,
-            std::size_t offset, std::string rule, std::string message) {
-  const std::size_t line = src.LineOf(offset);
-  if (Suppressed(src, line, rule)) return;
-  findings.push_back({src.path, line, std::move(rule), std::move(message)});
-}
-
-std::string Basename(const std::string& path) {
-  const auto slash = path.find_last_of('/');
-  return slash == std::string::npos ? path : path.substr(slash + 1);
-}
-
-std::string Stem(const std::string& path) {
-  std::string base = Basename(path);
-  const auto dot = base.find_last_of('.');
-  return dot == std::string::npos ? base : base.substr(0, dot);
-}
-
-// --- Rule 1 + 2: private-structure ownership ------------------------------
-
-void CheckOwnedTokens(const Source& src, std::vector<Finding>& findings,
-                      std::string_view rule, std::string_view owner_stem,
-                      const std::vector<std::string_view>& tokens,
-                      std::string_view what) {
-  if (Stem(src.path) == owner_stem) return;
-  for (const std::string_view token : tokens) {
-    for (const std::size_t hit : FindWord(src.clean, token)) {
-      Report(findings, src, hit, std::string(rule),
-             std::string(token) + " is " + std::string(what) +
-                 "; mutate it through " + std::string(owner_stem) +
-                 "'s interface");
-    }
-  }
-}
-
-// --- Rule 3: uncharged index queries --------------------------------------
-
-/// Brace-matched regions of `clean` whose opening brace follows `)` (or a
-/// trailing `const`/`noexcept`/`override` after one) — i.e. function and
-/// lambda bodies, as opposed to class/namespace/initializer braces.
-struct Body {
-  std::size_t open = 0;
-  std::size_t close = 0;  // offset of the matching '}'
-};
-
-std::vector<Body> FunctionBodies(const std::string& clean) {
-  std::vector<Body> bodies;
-  std::vector<std::pair<std::size_t, bool>> stack;  // (open offset, is_fn)
-  for (std::size_t i = 0; i < clean.size(); ++i) {
-    const char c = clean[i];
-    if (c == '{') {
-      // Look back over whitespace and trailing function-signature words.
-      std::size_t j = i;
-      bool is_fn = false;
-      for (int words = 0; words < 3; ++words) {
-        while (j > 0 &&
-               std::isspace(static_cast<unsigned char>(clean[j - 1]))) {
-          --j;
-        }
-        if (j == 0) break;
-        if (clean[j - 1] == ')') {
-          is_fn = true;
-          break;
-        }
-        std::size_t word_end = j;
-        while (j > 0 && IsWordChar(clean[j - 1])) --j;
-        const std::string_view word(clean.data() + j, word_end - j);
-        if (word != "const" && word != "noexcept" && word != "override" &&
-            word != "mutable") {
-          break;
-        }
-      }
-      stack.push_back({i, is_fn});
-    } else if (c == '}' && !stack.empty()) {
-      const auto [open, is_fn] = stack.back();
-      stack.pop_back();
-      if (is_fn) bodies.push_back({open, i});
-    }
-  }
-  return bodies;
-}
-
-bool BodyHasMeterCharge(const std::string& clean, const Body& body) {
-  const std::string_view text(clean.data() + body.open,
-                              body.close - body.open);
-  for (const std::string_view charge :
-       {"meter_.Add(", "meter.Add(", "meter().Add("}) {
-    if (text.find(charge) != std::string_view::npos) return true;
-  }
-  return false;
-}
-
-void CheckUnchargedQueries(const Source& src,
-                           std::vector<Finding>& findings) {
-  // Call-site spellings of the modeled-effort query paths. Qualified names
-  // (Foo::OldestExactMatch) are definitions, not calls, and are skipped.
-  static const std::vector<std::string_view> kQueries = {
-      "OldestExactMatch", "BestPriorityExactMatch", "OldestEligible",
-      "BestPriorityEligible", "index_->BestBlank",
-      "index_->BestPartiallyBlank", "index_->FindAnyIdle",
-      "index_->AnyBusyFit", "index_->BestIdleConfigured",
-      "index_->RankedHost"};
-  const std::vector<Body> bodies = FunctionBodies(src.clean);
-  for (const std::string_view token : kQueries) {
-    std::size_t pos = 0;
-    while ((pos = src.clean.find(token, pos)) != std::string::npos) {
-      const std::size_t start = pos;
-      pos += token.size();
-      // Whole token: not part of a longer identifier, and followed by '('.
-      if (start > 0 &&
-          (IsWordChar(src.clean[start - 1]) || src.clean[start - 1] == ':')) {
-        continue;
-      }
-      std::size_t after = start + token.size();
-      while (after < src.clean.size() &&
-             std::isspace(static_cast<unsigned char>(src.clean[after]))) {
-        ++after;
-      }
-      if (after >= src.clean.size() || src.clean[after] != '(') continue;
-      // A query is fine if ANY enclosing function body carries a charge
-      // (charges may sit beside the call or around an inner lambda).
-      bool enclosed = false;
-      bool charged = false;
-      for (const Body& body : bodies) {
-        if (body.open < start && start < body.close) {
-          enclosed = true;
-          if (BodyHasMeterCharge(src.clean, body)) {
-            charged = true;
-            break;
-          }
-        }
-      }
-      if (!enclosed || charged) continue;
-      Report(findings, src, start, "uncharged-index-query",
-             std::string(token) +
-                 " is a modeled-effort query path, but no WorkloadMeter "
-                 ".Add( charge is visible in the enclosing function");
-    }
-  }
-}
-
-// --- Rule 4: nondeterminism sources ---------------------------------------
-
-void CheckNondeterminism(const Source& src, std::vector<Finding>& findings) {
-  if (Stem(src.path) == "rng") return;  // util/rng owns entropy
-  struct Banned {
-    std::string_view token;
-    bool call_only;  // must be followed by '(' (rand/srand/time)
-  };
-  static const std::vector<Banned> kBanned = {
-      {"rand", true},          {"srand", true},
-      {"time", true},          {"random_device", false},
-      {"system_clock", false},
-  };
-  for (const Banned& banned : kBanned) {
-    for (const std::size_t hit : FindWord(src.clean, banned.token)) {
-      if (banned.call_only) {
-        std::size_t after = hit + banned.token.size();
-        while (after < src.clean.size() &&
-               std::isspace(static_cast<unsigned char>(src.clean[after]))) {
-          ++after;
-        }
-        if (after >= src.clean.size() || src.clean[after] != '(') continue;
-        // Member calls (obj.time(), ptr->time()) are not libc time().
-        if (hit > 0 && (src.clean[hit - 1] == '.' ||
-                        (hit > 1 && src.clean[hit - 2] == '-' &&
-                         src.clean[hit - 1] == '>'))) {
-          continue;
-        }
-      }
-      Report(findings, src, hit, "nondeterminism",
-             std::string(banned.token) +
-                 " is a nondeterminism source; runs must be a pure function "
-                 "of (seed, config) — use util/rng streams");
-    }
-  }
-}
-
-// --- Rule 5: hash-order iteration in writers ------------------------------
-
-bool IsWriterFile(const std::string& path) {
-  if (path.find("src/obs/") != std::string::npos) return true;
-  const std::string stem = Stem(path);
-  return stem.find("report") != std::string::npos;
-}
-
-// --- Rule 6: hash-order reductions in the sharded kernel --------------------
-
-bool IsShardFile(const std::string& path) {
-  // The partitioned EntryList carries shard-local merge state too: its
-  // bucket maintenance and any merge helpers live under the same
-  // fixed-shard-order contract as shard_engine.
-  const std::string stem = Stem(path);
-  return stem.find("shard") != std::string::npos ||
-         stem.find("entry_list") != std::string::npos ||
-         stem.find("entrylist") != std::string::npos;
-}
-
-// --- Rule 7: raw EntryList cell iteration ---------------------------------
-
-/// Stems allowed to read EntryList::cells() directly: the list itself and
-/// the audit tooling that diffs it against ground truth.
-bool MayTouchEntryCells(const std::string& path) {
-  const std::string stem = Stem(path);
-  return stem == "entry_list" || stem == "structure_auditor" ||
-         stem == "corruptor";
-}
-
-void CheckEntryCellsIteration(const Source& src,
-                              std::vector<Finding>& findings) {
-  if (MayTouchEntryCells(src.path)) return;
-  for (const std::size_t hit : FindWord(src.clean, "cells")) {
-    // Member call only: `.cells(` / `->cells(`.
-    const bool member =
-        (hit >= 1 && src.clean[hit - 1] == '.') ||
-        (hit >= 2 && src.clean[hit - 2] == '-' && src.clean[hit - 1] == '>');
-    if (!member) continue;
-    std::size_t after = hit + 5;
-    while (after < src.clean.size() &&
-           std::isspace(static_cast<unsigned char>(src.clean[after]))) {
-      ++after;
-    }
-    if (after >= src.clean.size() || src.clean[after] != '(') continue;
-    Report(findings, src, hit, "entry-cells-iteration",
-           "direct EntryList cells() access outside entry_list/auditor "
-           "bypasses the counted queries and the shard-bucket API; use "
-           "FindFirst/FindMin/shard_cells instead");
-  }
-}
-
-// --- Rule 8: metric-catalogue ---------------------------------------------
-
-/// Blanks comments only, keeping string literals (so catalogue-name string
-/// scans do not trip on names mentioned in prose).
-std::string BlankComments(const std::string& in) {
-  std::string out = in;
-  enum class State { kCode, kLine, kBlock, kString, kChar } state = State::kCode;
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const char c = in[i];
-    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLine;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlock;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'' && i > 0 &&
-                   !(std::isalnum(static_cast<unsigned char>(in[i - 1])) ||
-                     in[i - 1] == '_')) {
-          state = State::kChar;
-        }
-        break;
-      case State::kLine:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          ++i;
-        } else if (c == (state == State::kString ? '"' : '\'')) {
-          state = State::kCode;
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-void CheckMetricCatalogue(const Source& src, std::vector<Finding>& findings) {
-  const std::string stem = Stem(src.path);
-  // A registry hook call must pass a literal catalogue token as its id —
-  // a computed id (cast, variable) dodges the single-source-of-names rule.
-  static const std::vector<std::string_view> kHooks = {
-      "MetricInc", "MetricGaugeSet", "MetricGaugeMax", "MetricObserve"};
-  for (const std::string_view hook : kHooks) {
-    for (const std::size_t hit : FindWord(src.clean, hook)) {
-      std::size_t i = hit + hook.size();
-      while (i < src.clean.size() &&
-             std::isspace(static_cast<unsigned char>(src.clean[i]))) {
-        ++i;
-      }
-      if (i >= src.clean.size() || src.clean[i] != '(') continue;
-      // The hook definitions themselves declare `MetricId id` parameters.
-      std::size_t before = hit;
-      while (before > 0 &&
-             std::isspace(static_cast<unsigned char>(src.clean[before - 1]))) {
-        --before;
-      }
-      std::size_t word_begin = before;
-      while (word_begin > 0 && IsWordChar(src.clean[word_begin - 1])) {
-        --word_begin;
-      }
-      if (std::string_view(src.clean.data() + word_begin,
-                           before - word_begin) == "void") {
-        continue;
-      }
-      // First argument: everything up to the first top-level ',' or ')'.
-      std::size_t j = i + 1;
-      int depth = 1;
-      const std::size_t arg_begin = j;
-      while (j < src.clean.size() && depth > 0) {
-        const char c = src.clean[j];
-        if (c == '(' || c == '<') ++depth;
-        if (c == ')' || c == '>') --depth;
-        if (c == ',' && depth == 1) break;
-        ++j;
-      }
-      const std::string_view arg(src.clean.data() + arg_begin, j - arg_begin);
-      if (arg.find("MetricId::k") != std::string_view::npos) continue;
-      Report(findings, src, hit, "metric-catalogue",
-             std::string(hook) +
-                 " must name a literal MetricId::k... token from "
-                 "obs/metric_catalogue.hpp (no computed ids)");
-    }
-  }
-  // Product code never spells a prefixed exposition name by hand: names
-  // are derived from the catalogue (tests may assert rendered names).
-  const bool product = src.path.rfind("src/", 0) == 0 ||
-                       src.path.rfind("tools/", 0) == 0;
-  if (!product || stem == "metric_catalogue") return;
-  const std::string code = BlankComments(src.raw);
-  std::size_t pos = 0;
-  while ((pos = code.find("\"dreamsim_", pos)) != std::string::npos) {
-    Report(findings, src, pos, "metric-catalogue",
-           "ad-hoc \"dreamsim_...\" metric name; exposition names come from "
-           "obs/metric_catalogue.hpp");
-    pos += 10;
-  }
-}
-
-/// Member names declared as unordered containers in `clean`.
-std::set<std::string> UnorderedMembers(const std::string& clean) {
-  std::set<std::string> members;
-  for (const std::string_view intro :
-       {std::string_view("unordered_map<"), std::string_view("unordered_set<")}) {
-    std::size_t pos = 0;
-    while ((pos = clean.find(intro, pos)) != std::string::npos) {
-      // Skip the template argument list (angle brackets nest).
-      std::size_t i = pos + intro.size();
-      int depth = 1;
-      while (i < clean.size() && depth > 0) {
-        if (clean[i] == '<') ++depth;
-        if (clean[i] == '>') --depth;
-        ++i;
-      }
-      pos = i;
-      // The declared name follows: [&*]* identifier [;={(].
-      while (i < clean.size() &&
-             (std::isspace(static_cast<unsigned char>(clean[i])) ||
-              clean[i] == '&' || clean[i] == '*')) {
-        ++i;
-      }
-      const std::size_t name_begin = i;
-      while (i < clean.size() && IsWordChar(clean[i])) ++i;
-      if (i > name_begin) {
-        members.insert(clean.substr(name_begin, i - name_begin));
-      }
-    }
-  }
-  return members;
-}
-
-void CheckUnorderedRangeFor(const Source& src,
-                            const std::set<std::string>& unordered_names,
-                            std::string_view rule, std::string_view why,
-                            std::vector<Finding>& findings) {
-  for (const std::size_t hit : FindWord(src.clean, "for")) {
-    std::size_t i = hit + 3;
-    while (i < src.clean.size() &&
-           std::isspace(static_cast<unsigned char>(src.clean[i]))) {
-      ++i;
-    }
-    if (i >= src.clean.size() || src.clean[i] != '(') continue;
-    // Capture the parenthesized header.
-    const std::size_t header_begin = i + 1;
-    int depth = 1;
-    std::size_t j = header_begin;
-    std::size_t range_colon = std::string::npos;
-    while (j < src.clean.size() && depth > 0) {
-      const char c = src.clean[j];
-      if (c == '(') ++depth;
-      if (c == ')') --depth;
-      if (c == ';') break;  // classic for loop, not range-for
-      if (c == ':' && depth == 1 && range_colon == std::string::npos) {
-        const bool scope = (j + 1 < src.clean.size() &&
-                            src.clean[j + 1] == ':') ||
-                           (j > 0 && src.clean[j - 1] == ':');
-        if (!scope) range_colon = j;
-      }
-      ++j;
-    }
-    if (range_colon == std::string::npos || depth != 0) continue;
-    const std::string range_expr =
-        src.clean.substr(range_colon + 1, j - 1 - (range_colon + 1));
-    for (const std::string& name : unordered_names) {
-      if (!FindWord(range_expr, name).empty()) {
-        Report(findings, src, hit, std::string(rule),
-               "range-for over unordered container '" + name + "' " +
-                   std::string(why));
-        break;
-      }
-    }
-  }
-}
-
-// --- Driver ---------------------------------------------------------------
-
-bool WantedFile(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
-}
-
-}  // namespace
+// Exit codes: 0 = clean, 1 = findings, 2 = internal error.
+#include "lint/engine.hpp"
 
 int main(int argc, char** argv) {
-  fs::path root = ".";
-  std::vector<std::string> subdirs;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg == "--root" && i + 1 < argc) {
-      root = argv[++i];
-    } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: dreamsim_lint [--root <repo-root>] [subdir...]\n";
-      return 0;
-    } else {
-      subdirs.emplace_back(arg);
-    }
-  }
-  if (subdirs.empty()) subdirs = {"src", "tools", "tests", "bench"};
-
-  std::vector<Source> sources;
-  for (const std::string& sub : subdirs) {
-    const fs::path dir = root / sub;
-    if (!fs::exists(dir)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file() || !WantedFile(entry.path())) continue;
-      std::string rel = fs::relative(entry.path(), root).generic_string();
-      sources.push_back(LoadSource(entry.path(), std::move(rel)));
-    }
-  }
-  std::sort(sources.begin(), sources.end(),
-            [](const Source& a, const Source& b) { return a.path < b.path; });
-  if (sources.empty()) {
-    std::cerr << "dreamsim_lint: no sources found under " << root << "\n";
-    return 2;
-  }
-
-  // The lint's own implementation spells every banned token; it vouches
-  // for itself the same way any other file would.
-  // buckets_ (also SusQueueIndex's) and shard_of_ (also ShardEngine's)
-  // would false-positive as whole-word tokens; the cells()-access rule
-  // covers the partition mirror's read surface instead.
-  static const std::vector<std::string_view> kListInternals = {
-      "cells_", "table_", "table_used_"};
-  static const std::vector<std::string_view> kStoreInternals = {
-      "idle_lists_",  "busy_lists_",  "blank_pos_",   "busy_area_",
-      "failed_count_", "idle_list_mut", "busy_list_mut"};
-
-  // Rule 5 resolves member names per directory: a writer .cpp iterates
-  // members declared in its own header (or a sibling's).
-  std::map<std::string, std::set<std::string>> unordered_by_dir;
-  for (const Source& src : sources) {
-    const auto slash = src.path.find_last_of('/');
-    const std::string dir =
-        slash == std::string::npos ? "" : src.path.substr(0, slash);
-    const std::set<std::string> members = UnorderedMembers(src.clean);
-    unordered_by_dir[dir].insert(members.begin(), members.end());
-  }
-
-  std::vector<Finding> findings;
-  for (const Source& src : sources) {
-    if (Stem(src.path) == "dreamsim_lint") continue;
-    CheckOwnedTokens(src, findings, "list-internals", "entry_list",
-                     kListInternals, "EntryList's intrusive state");
-    CheckOwnedTokens(src, findings, "store-internals", "store",
-                     kStoreInternals, "ResourceStore's private mirror state");
-    CheckUnchargedQueries(src, findings);
-    CheckNondeterminism(src, findings);
-    CheckEntryCellsIteration(src, findings);
-    CheckMetricCatalogue(src, findings);
-    const auto slash = src.path.find_last_of('/');
-    const std::string dir =
-        slash == std::string::npos ? "" : src.path.substr(0, slash);
-    if (IsWriterFile(src.path)) {
-      CheckUnorderedRangeFor(src, unordered_by_dir[dir],
-                             "unordered-writer-iteration",
-                             "in a report/trace writer leaks hash order into "
-                             "output; collect keys and sort first",
-                             findings);
-    }
-    if (IsShardFile(src.path)) {
-      CheckUnorderedRangeFor(src, unordered_by_dir[dir], "unordered-merge",
-                             "in the sharded kernel seeds a cross-shard "
-                             "reduction with hash order; merge in fixed "
-                             "shard order over ordered state",
-                             findings);
-    }
-  }
-
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
-            });
-  for (const Finding& f : findings) {
-    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
-  }
-  std::cout << "dreamsim_lint: " << sources.size() << " files, "
-            << findings.size() << " finding(s)\n";
-  return findings.empty() ? 0 : 1;
+  return dreamsim::lint::RunLintCli(argc, argv);
 }

@@ -1,0 +1,187 @@
+#include "lint/engine.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <stdexcept>
+
+namespace dreamsim::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] bool WantedFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+/// The engine's own sources and the rule fixtures are not part of the
+/// product tree scan: the engine spells every banned token by necessity,
+/// and fixtures are linted by test_lint with their own roots.
+[[nodiscard]] bool IsEngineOwnFile(const std::string& rel) {
+  return rel == "tools/dreamsim_lint.cpp" ||
+         rel.rfind("tools/lint/", 0) == 0 ||
+         rel.find("lint_fixtures/") != std::string::npos;
+}
+
+const RuleInfo kStaleSuppression{
+    "stale-suppression", Severity::kError,
+    "every `lint: allow` annotation must still suppress something"};
+
+void SortFindings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+}  // namespace
+
+std::string_view ToString(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+void Reporter::Report(Source& src, std::size_t offset, const RuleInfo& rule,
+                      std::string message, std::string fix_hint) {
+  ReportAtLine(src, src.LineOf(offset), rule, std::move(message),
+               std::move(fix_hint));
+}
+
+void Reporter::ReportAtLine(Source& src, std::size_t line,
+                            const RuleInfo& rule, std::string message,
+                            std::string fix_hint) {
+  bool suppressed = false;
+  for (Suppression& sup : src.suppressions) {
+    if (sup.rule != rule.id) continue;
+    const bool matches =
+        sup.file_wide || sup.line == line || sup.line + 1 == line;
+    if (matches) {
+      sup.used = true;  // every matching allow counts as fired
+      suppressed = true;
+    }
+  }
+  if (suppressed) return;
+  findings_.push_back({src.path, line, rule.id, rule.severity,
+                       std::move(message), std::move(fix_hint)});
+}
+
+RunResult RunLintOnTree(Tree& tree) {
+  Reporter reporter;
+  const std::vector<std::unique_ptr<Rule>> rules = BuiltinRules();
+  for (Source& src : tree.sources) {
+    for (const std::unique_ptr<Rule>& rule : rules) {
+      rule->Check(src, tree, reporter);
+    }
+  }
+  // Stale-suppression pass: runs after every rule so `used` is final.
+  for (Source& src : tree.sources) {
+    for (const Suppression& sup : src.suppressions) {
+      if (sup.used) continue;
+      const std::string kind = sup.file_wide ? "allow-file" : "allow";
+      reporter.findings().push_back(
+          {src.path, sup.line, kStaleSuppression.id,
+           kStaleSuppression.severity,
+           "`lint: " + kind + "(" + sup.rule +
+               ")` suppresses nothing — the finding it silenced is gone "
+               "(or the rule id is misspelled)",
+           "delete the stale suppression comment"});
+    }
+  }
+  RunResult result;
+  result.findings = std::move(reporter.findings());
+  SortFindings(result.findings);
+  result.files = tree.sources.size();
+  for (const Finding& f : result.findings) {
+    (f.severity == Severity::kError ? result.errors : result.warnings) += 1;
+  }
+  return result;
+}
+
+RunResult RunLint(const fs::path& root,
+                  const std::vector<std::string>& subdirs) {
+  Tree tree;
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !WantedFile(entry.path())) continue;
+      std::string rel = fs::relative(entry.path(), root).generic_string();
+      if (IsEngineOwnFile(rel)) continue;
+      tree.sources.push_back(LoadSource(entry.path(), std::move(rel)));
+    }
+  }
+  if (tree.sources.empty()) {
+    throw std::runtime_error("no sources found under " +
+                             root.generic_string());
+  }
+  std::sort(tree.sources.begin(), tree.sources.end(),
+            [](const Source& a, const Source& b) { return a.path < b.path; });
+  for (std::size_t i = 0; i < tree.sources.size(); ++i) {
+    const Source& src = tree.sources[i];
+    tree.by_path[src.path] = i;
+    const auto slash = src.path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "" : src.path.substr(0, slash);
+    const std::set<std::string> members = UnorderedMembers(src.clean);
+    tree.unordered_by_dir[dir].insert(members.begin(), members.end());
+  }
+  RunResult result = RunLintOnTree(tree);
+  return result;
+}
+
+int RunLintCli(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<std::string> subdirs;
+  bool fix_hints = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--fix-hints") {
+      fix_hints = true;
+    } else if (arg == "--list-rules") {
+      for (const std::unique_ptr<Rule>& rule : BuiltinRules()) {
+        const RuleInfo& info = rule->info();
+        std::cout << info.id << " (" << ToString(info.severity) << "): "
+                  << info.summary << "\n";
+      }
+      std::cout << kStaleSuppression.id << " ("
+                << ToString(kStaleSuppression.severity)
+                << "): " << kStaleSuppression.summary << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: dreamsim_lint [--root <repo-root>] [--fix-hints] "
+                   "[--list-rules] [subdir...]\n"
+                   "exit codes: 0 clean, 1 findings, 2 internal error\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "dreamsim_lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      subdirs.emplace_back(arg);
+    }
+  }
+  if (subdirs.empty()) subdirs = {"src", "tools", "tests", "bench"};
+
+  RunResult result;
+  try {
+    result = RunLint(root, subdirs);
+  } catch (const std::exception& e) {
+    std::cerr << "dreamsim_lint: internal error: " << e.what() << "\n";
+    return 2;
+  }
+  for (const Finding& f : result.findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+    if (fix_hints && !f.fix_hint.empty()) {
+      std::cout << "    hint: " << f.fix_hint << "\n";
+    }
+  }
+  std::cout << "dreamsim_lint: " << result.files << " files, "
+            << result.errors << " finding(s), " << result.warnings
+            << " warning(s)\n";
+  return result.errors > 0 ? 1 : 0;
+}
+
+}  // namespace dreamsim::lint

@@ -1,0 +1,113 @@
+// Rule registry + driver for the dreamsim lint engine (DESIGN.md §17).
+//
+// A Rule checks one repo contract over one Source at a time, with the
+// whole Tree available for cross-file passes (the plane-discipline include
+// graph, per-directory unordered-member resolution). Findings go through
+// the Reporter, which applies suppressions (`// lint: allow(<rule>)` on
+// the finding's line or the line above, `// lint: allow-file(<rule>)`
+// anywhere in the file) and tracks which suppression actually fired — an
+// allow that suppresses nothing is itself reported as `stale-suppression`,
+// so dead annotations cannot accumulate.
+//
+// Exit-code contract (the CLI): 0 = clean tree, 1 = findings (including
+// stale suppressions), 2 = the linter itself failed (no sources, bad
+// root). CI fails the build on 1, but reports 2 as a tooling breakage, not
+// a code finding.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/source.hpp"
+
+namespace dreamsim::lint {
+
+enum class Severity { kError, kWarning };
+
+[[nodiscard]] std::string_view ToString(Severity severity);
+
+struct RuleInfo {
+  std::string id;       // stable kebab-case rule id ("uncharged-index-query")
+  Severity severity = Severity::kError;
+  std::string summary;  // one line, shown by --list-rules
+};
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string message;
+  std::string fix_hint;  // shown by --fix-hints; may be empty
+};
+
+/// Every loaded source plus the cross-file context rules share.
+struct Tree {
+  std::vector<Source> sources;
+  std::map<std::string, std::size_t> by_path;  // path -> index in sources
+  /// Unordered-container member names per directory: a writer .cpp
+  /// iterates members declared in its own header (or a sibling's).
+  std::map<std::string, std::set<std::string>> unordered_by_dir;
+
+  [[nodiscard]] const Source* Find(const std::string& path) const {
+    const auto it = by_path.find(path);
+    return it == by_path.end() ? nullptr : &sources[it->second];
+  }
+};
+
+/// Collects findings; the suppression check mutates the source's
+/// Suppression::used flags so the engine can report stale allows after
+/// every rule has run.
+class Reporter {
+ public:
+  void Report(Source& src, std::size_t offset, const RuleInfo& rule,
+              std::string message, std::string fix_hint = "");
+  /// Reports at an explicit line (for findings without a clean offset).
+  void ReportAtLine(Source& src, std::size_t line, const RuleInfo& rule,
+                    std::string message, std::string fix_hint = "");
+
+  [[nodiscard]] std::vector<Finding>& findings() { return findings_; }
+
+ private:
+  std::vector<Finding> findings_;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  [[nodiscard]] virtual const RuleInfo& info() const = 0;
+  /// Checks one source. `src` is mutable only for suppression tracking.
+  virtual void Check(Source& src, const Tree& tree, Reporter& out) = 0;
+};
+
+/// The built-in rule set, freshly constructed (rules may cache per-tree
+/// state, so a set is used for exactly one Run).
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> BuiltinRules();
+
+struct RunResult {
+  std::vector<Finding> findings;  // sorted (file, line, rule); suppressions
+                                  // applied; stale allows appended as
+                                  // `stale-suppression` findings
+  std::size_t files = 0;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+};
+
+/// Loads `subdirs` under `root` and runs every builtin rule.
+/// Throws std::runtime_error when the tree itself cannot be linted (no
+/// sources found) — the CLI maps that to exit code 2.
+[[nodiscard]] RunResult RunLint(const std::filesystem::path& root,
+                                const std::vector<std::string>& subdirs);
+/// Runs the builtin rules over an already-built tree (fixture tests).
+[[nodiscard]] RunResult RunLintOnTree(Tree& tree);
+
+/// Full CLI: parsing, output, exit code (the dreamsim_lint main).
+[[nodiscard]] int RunLintCli(int argc, char** argv);
+
+}  // namespace dreamsim::lint

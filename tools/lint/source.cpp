@@ -1,0 +1,310 @@
+#include "lint/source.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace dreamsim::lint {
+namespace {
+
+[[nodiscard]] bool IsSpace(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+/// True when the '"' at `quote` opens a raw string literal; sets `*start`
+/// to the offset of the R (or its encoding prefix) so the caller can knock
+/// the prefix out of the code view too if it wants to.
+[[nodiscard]] bool IsRawStringQuote(const std::string& in, std::size_t quote,
+                                    std::size_t* start) {
+  if (quote == 0 || in[quote - 1] != 'R') return false;
+  std::size_t begin = quote - 1;
+  // Optional encoding prefix before the R: u8, u, U, L.
+  if (begin >= 2 && in[begin - 2] == 'u' && in[begin - 1] == '8') {
+    begin -= 2;
+  } else if (begin >= 1 &&
+             (in[begin - 1] == 'u' || in[begin - 1] == 'U' ||
+              in[begin - 1] == 'L')) {
+    begin -= 1;
+  }
+  // The prefix must not be the tail of a longer identifier (FooR"...").
+  if (begin > 0 && IsWordChar(in[begin - 1])) return false;
+  *start = begin;
+  return true;
+}
+
+}  // namespace
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<Token> Tokenize(const std::string& in) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = in.size();
+  while (i < n) {
+    const char c = in[i];
+    const char next = i + 1 < n ? in[i + 1] : '\0';
+    if (c == '/' && next == '/') {
+      std::size_t end = i;
+      while (end < n && in[end] != '\n') ++end;
+      tokens.push_back({TokKind::kLineComment, i, end});
+      i = end;
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      std::size_t end = in.find("*/", i + 2);
+      end = end == std::string::npos ? n : end + 2;
+      tokens.push_back({TokKind::kBlockComment, i, end});
+      i = end;
+      continue;
+    }
+    if (c == '"') {
+      std::size_t raw_start = 0;
+      if (IsRawStringQuote(in, i, &raw_start)) {
+        // R"delim( ... )delim"
+        std::size_t p = i + 1;
+        std::string delim;
+        while (p < n && in[p] != '(') delim.push_back(in[p++]);
+        const std::string closer = ")" + delim + "\"";
+        std::size_t end = in.find(closer, p);
+        end = end == std::string::npos ? n : end + closer.size();
+        tokens.push_back({TokKind::kRawString, i, end});
+        i = end;
+        continue;
+      }
+      std::size_t p = i + 1;
+      while (p < n && in[p] != '"') {
+        if (in[p] == '\\' && p + 1 < n) ++p;
+        ++p;
+      }
+      tokens.push_back({TokKind::kString, i, p < n ? p + 1 : n});
+      i = p < n ? p + 1 : n;
+      continue;
+    }
+    if (c == '\'' && i > 0 && !IsWordChar(in[i - 1])) {
+      // Digit separators (1'000) fail the predecessor test and stay code.
+      std::size_t p = i + 1;
+      while (p < n && in[p] != '\'') {
+        if (in[p] == '\\' && p + 1 < n) ++p;
+        ++p;
+      }
+      tokens.push_back({TokKind::kChar, i, p < n ? p + 1 : n});
+      i = p < n ? p + 1 : n;
+      continue;
+    }
+    ++i;
+  }
+  return tokens;
+}
+
+std::size_t Source::LineOf(std::size_t offset) const {
+  const auto it =
+      std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+  return static_cast<std::size_t>(it - line_starts.begin());
+}
+
+std::string_view Source::RawLine(std::size_t line) const {
+  const std::size_t begin = line_starts[line - 1];
+  const std::size_t end =
+      line < line_starts.size() ? line_starts[line] - 1 : raw.size();
+  return std::string_view(raw).substr(begin, end - begin);
+}
+
+namespace {
+
+/// Blanks `[begin, end)` of `out` with spaces, preserving newlines so line
+/// numbers agree across views.
+void BlankSpan(std::string& out, std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end && i < out.size(); ++i) {
+    if (out[i] != '\n') out[i] = ' ';
+  }
+}
+
+void ParseIncludes(Source& src) {
+  // Scan the comment-free view line by line: `#include "target"`.
+  for (std::size_t line = 1; line <= src.line_starts.size(); ++line) {
+    std::size_t i = src.line_starts[line - 1];
+    const std::size_t end =
+        line < src.line_starts.size() ? src.line_starts[line] : src.code.size();
+    while (i < end && IsSpace(src.code[i])) ++i;
+    if (i >= end || src.code[i] != '#') continue;
+    ++i;
+    while (i < end && IsSpace(src.code[i])) ++i;
+    if (src.code.compare(i, 7, "include") != 0) continue;
+    i += 7;
+    while (i < end && IsSpace(src.code[i])) ++i;
+    if (i >= end || src.code[i] != '"') continue;
+    const std::size_t begin = i + 1;
+    const std::size_t close = src.code.find('"', begin);
+    if (close == std::string::npos || close >= end) continue;
+    src.includes.push_back({src.code.substr(begin, close - begin), line});
+  }
+}
+
+void ParseSuppressions(Source& src, const std::vector<Token>& tokens) {
+  for (const Token& tok : tokens) {
+    if (tok.kind != TokKind::kLineComment && tok.kind != TokKind::kBlockComment) {
+      continue;
+    }
+    const std::size_t body_begin = tok.begin + 2;
+    const std::size_t body_end =
+        tok.kind == TokKind::kBlockComment && tok.end >= tok.begin + 4
+            ? tok.end - 2
+            : tok.end;
+    if (body_begin >= body_end) continue;
+    // Only a comment whose text STARTS with `lint:` is an annotation;
+    // prose that mentions the tag mid-sentence stays prose.
+    std::size_t t = body_begin;
+    while (t < body_end && IsSpace(src.raw[t])) ++t;
+    if (src.raw.compare(t, 5, "lint:") != 0) continue;
+    std::size_t pos = t + 5;
+    while (pos < body_end) {
+      const std::size_t hit = src.raw.find("allow", pos);
+      if (hit == std::string::npos || hit >= body_end) break;
+      std::size_t p = hit + 5;
+      bool file_wide = false;
+      if (src.raw.compare(p, 6, "-file(") == 0) {
+        file_wide = true;
+        p += 6;
+      } else if (p < body_end && src.raw[p] == '(') {
+        p += 1;
+      } else {
+        pos = hit + 5;
+        continue;
+      }
+      const std::size_t close = src.raw.find(')', p);
+      if (close == std::string::npos || close >= body_end) break;
+      src.suppressions.push_back(
+          {src.raw.substr(p, close - p), src.LineOf(hit), file_wide, false});
+      pos = close + 1;
+    }
+  }
+}
+
+[[nodiscard]] Source BuildSource(std::string rel, std::string text) {
+  Source src;
+  src.path = std::move(rel);
+  src.raw = std::move(text);
+  src.line_starts.push_back(0);
+  for (std::size_t i = 0; i < src.raw.size(); ++i) {
+    if (src.raw[i] == '\n') src.line_starts.push_back(i + 1);
+  }
+  const std::vector<Token> tokens = Tokenize(src.raw);
+  src.clean = src.raw;
+  src.code = src.raw;
+  for (const Token& tok : tokens) {
+    BlankSpan(src.clean, tok.begin, tok.end);
+    const bool comment = tok.kind == TokKind::kLineComment ||
+                         tok.kind == TokKind::kBlockComment;
+    if (comment) BlankSpan(src.code, tok.begin, tok.end);
+  }
+  ParseIncludes(src);
+  ParseSuppressions(src, tokens);
+  return src;
+}
+
+}  // namespace
+
+Source LoadSource(const std::filesystem::path& abs, std::string rel) {
+  std::ifstream in(abs, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return BuildSource(std::move(rel), buffer.str());
+}
+
+Source MakeSource(std::string rel, std::string text) {
+  return BuildSource(std::move(rel), std::move(text));
+}
+
+std::vector<std::size_t> FindWord(const std::string& text,
+                                  std::string_view token) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsWordChar(text[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= text.size() || !IsWordChar(text[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+std::string Basename(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string Stem(const std::string& path) {
+  std::string base = Basename(path);
+  const auto dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+std::vector<Body> FunctionBodies(const std::string& clean) {
+  std::vector<Body> bodies;
+  std::vector<std::pair<std::size_t, bool>> stack;  // (open offset, is_fn)
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    const char c = clean[i];
+    if (c == '{') {
+      // Look back over whitespace and trailing function-signature words.
+      std::size_t j = i;
+      bool is_fn = false;
+      for (int words = 0; words < 3; ++words) {
+        while (j > 0 && IsSpace(clean[j - 1])) --j;
+        if (j == 0) break;
+        if (clean[j - 1] == ')') {
+          is_fn = true;
+          break;
+        }
+        const std::size_t word_end = j;
+        while (j > 0 && IsWordChar(clean[j - 1])) --j;
+        const std::string_view word(clean.data() + j, word_end - j);
+        if (word != "const" && word != "noexcept" && word != "override" &&
+            word != "mutable") {
+          break;
+        }
+      }
+      stack.push_back({i, is_fn});
+    } else if (c == '}' && !stack.empty()) {
+      const auto [open, is_fn] = stack.back();
+      stack.pop_back();
+      if (is_fn) bodies.push_back({open, i});
+    }
+  }
+  return bodies;
+}
+
+std::set<std::string> UnorderedMembers(const std::string& clean) {
+  std::set<std::string> members;
+  for (const std::string_view intro : {std::string_view("unordered_map<"),
+                                       std::string_view("unordered_set<")}) {
+    std::size_t pos = 0;
+    while ((pos = clean.find(intro, pos)) != std::string::npos) {
+      // Skip the template argument list (angle brackets nest).
+      std::size_t i = pos + intro.size();
+      int depth = 1;
+      while (i < clean.size() && depth > 0) {
+        if (clean[i] == '<') ++depth;
+        if (clean[i] == '>') --depth;
+        ++i;
+      }
+      pos = i;
+      // The declared name follows: [&*]* identifier [;={(].
+      while (i < clean.size() &&
+             (IsSpace(clean[i]) || clean[i] == '&' || clean[i] == '*')) {
+        ++i;
+      }
+      const std::size_t name_begin = i;
+      while (i < clean.size() && IsWordChar(clean[i])) ++i;
+      if (i > name_begin) {
+        members.insert(clean.substr(name_begin, i - name_begin));
+      }
+    }
+  }
+  return members;
+}
+
+}  // namespace dreamsim::lint

@@ -1,0 +1,109 @@
+// Source model for the dreamsim lint engine (DESIGN.md §17).
+//
+// A Source is one file in three aligned views plus the structure the rules
+// share: `raw` is the file verbatim; `clean` blanks comments and every
+// string/char literal (including raw strings) to spaces so token scans see
+// code only; `code` blanks comments but keeps literals, for rules that
+// inspect string contents (metric exposition names). All three views have
+// identical length and line structure, so one offset addresses all of
+// them.
+//
+// The views are derived from a single C++ tokenizer pass (Tokenize) that
+// understands //-comments, /*...*/ blocks, "..." and '...' literals with
+// escapes, digit separators (1'000 is not a char literal), and raw string
+// literals R"delim(...)delim" with optional encoding prefixes — the case
+// plain-text blanking gets wrong.
+//
+// Loading also extracts the inputs the engine needs once per file: quoted
+// #include targets (for the plane-discipline include graph) and
+// `// lint: allow(...)` / `// lint: allow-file(...)` suppressions. A
+// suppression is only recognized when the comment's text *starts with*
+// `lint:` — prose that merely mentions the tag does not register (and so
+// can never be reported stale).
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dreamsim::lint {
+
+// --- Tokenizer ------------------------------------------------------------
+
+enum class TokKind {
+  kLineComment,  // // ... (terminating newline excluded)
+  kBlockComment, // /* ... */
+  kString,       // "..." including quotes
+  kChar,         // '...' including quotes
+  kRawString,    // R"delim(...)delim" including quotes (prefix excluded)
+};
+
+/// One non-code span of the file; code is everything between tokens.
+struct Token {
+  TokKind kind;
+  std::size_t begin = 0;  // offset of the first char (slash or quote)
+  std::size_t end = 0;    // offset one past the last char
+};
+
+/// Single-pass scan of `text` into its non-code spans.
+[[nodiscard]] std::vector<Token> Tokenize(const std::string& text);
+
+// --- Source ---------------------------------------------------------------
+
+/// One `lint: allow(...)` / `lint: allow-file(...)` annotation.
+struct Suppression {
+  std::string rule;
+  std::size_t line = 0;   // line the tag itself sits on
+  bool file_wide = false; // allow-file
+  bool used = false;      // set when it suppresses at least one finding
+};
+
+struct Source {
+  std::string path;   // repo-relative, '/' separators
+  std::string raw;
+  std::string clean;  // comments + string/char literals -> spaces
+  std::string code;   // comments -> spaces, literals kept
+  std::vector<std::size_t> line_starts;  // offset of each line's first char
+
+  struct Include {
+    std::string target;  // the quoted path, verbatim
+    std::size_t line = 0;
+  };
+  std::vector<Include> includes;
+  std::vector<Suppression> suppressions;
+
+  [[nodiscard]] std::size_t LineOf(std::size_t offset) const;
+  [[nodiscard]] std::string_view RawLine(std::size_t line) const;
+};
+
+/// Reads `abs` and derives every view; `rel` becomes Source::path.
+[[nodiscard]] Source LoadSource(const std::filesystem::path& abs,
+                                std::string rel);
+/// Builds a Source from an in-memory buffer (unit tests).
+[[nodiscard]] Source MakeSource(std::string rel, std::string text);
+
+// --- Shared scan helpers ---------------------------------------------------
+
+[[nodiscard]] bool IsWordChar(char c);
+/// Whole-word occurrences of `token` in `text`.
+[[nodiscard]] std::vector<std::size_t> FindWord(const std::string& text,
+                                                std::string_view token);
+[[nodiscard]] std::string Basename(const std::string& path);
+[[nodiscard]] std::string Stem(const std::string& path);
+
+/// Brace-matched regions of `clean` whose opening brace follows `)` (or a
+/// trailing `const`/`noexcept`/`override`/`mutable` after one) — function
+/// and lambda bodies, as opposed to class/namespace/initializer braces.
+struct Body {
+  std::size_t open = 0;
+  std::size_t close = 0;  // offset of the matching '}'
+};
+[[nodiscard]] std::vector<Body> FunctionBodies(const std::string& clean);
+
+/// Member names declared as unordered containers in `clean`.
+[[nodiscard]] std::set<std::string> UnorderedMembers(const std::string& clean);
+
+}  // namespace dreamsim::lint
